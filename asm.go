@@ -1,0 +1,14 @@
+package tflex
+
+import (
+	"github.com/clp-sim/tflex/internal/asm"
+)
+
+// Assemble parses the textual EDGE assembly language into a laid-out
+// program.  See internal/asm for the statement grammar; the entry block
+// is the first one defined.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// Disassemble renders a program as an ISA-level listing: final
+// instruction placement, target fields, LSIDs and predicates.
+func Disassemble(p *Program) string { return asm.Disassemble(p) }

@@ -1,0 +1,145 @@
+package tflex
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/experiments"
+)
+
+// One benchmark per paper table/figure: each regenerates the experiment
+// at a small scale and reports its headline metric, so `go test -bench=.`
+// reproduces the evaluation end to end.  The textual tables come from
+// cmd/tflexexp; these benches time the regeneration and surface the
+// numbers the paper leads with.
+
+func BenchmarkFig5BaselineValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.SuiteGeo["hand"], "hand-opt-trips/core2")
+		b.ReportMetric(d.SuiteGeo["specint"], "specint-trips/core2")
+	}
+}
+
+func BenchmarkFig6CompositionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.AvgBySize[16], "avg-speedup-16c")
+		b.ReportMetric(d.AvgBest, "avg-speedup-best")
+		b.ReportMetric(d.AvgBest/d.AvgTRIPS, "best-vs-trips")
+	}
+}
+
+func BenchmarkFig7AreaEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.AvgBySize[1], "perf/area-1c")
+		b.ReportMetric(d.AvgBySize[2], "perf/area-2c")
+	}
+}
+
+func BenchmarkFig8PowerEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.AvgBySize[8], "perfsq/W-8c")
+		b.ReportMetric(d.AvgBySize[8]/d.AvgTRIPS, "tflex8-vs-trips")
+	}
+}
+
+func BenchmarkFig9ProtocolLatencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := d.Fetch[32]
+		b.ReportMetric(f[0]+f[1]+f[2]+f[3]+f[4], "fetch-cycles-32c")
+		c := d.Commit[32]
+		b.ReportMetric(c[0]+c[1], "commit-cycles-32c")
+	}
+}
+
+func BenchmarkHandshakeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Handshake()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(d.AvgGain-1), "overhead-%")
+	}
+}
+
+func BenchmarkFig10WeightedSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(1)
+		d, _, err := s.Fig10(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.AvgTFlex/d.BestCMPAvg, "tflex-vs-best-cmp")
+		b.ReportMetric(d.AvgTFlex/d.AvgVB, "tflex-vs-vb-cmp")
+	}
+}
+
+// Microbenchmarks of the simulator substrates themselves.
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// Simulated cycles per wall-clock second on an 8-core composition.
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunKernel("conv", 2, RunConfig{Cores: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+}
+
+func BenchmarkFunctionalExecution(b *testing.B) {
+	inst, err := BuildKernel("ct", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(inst.Prog)
+		inst.Init(&m.Regs, m.Mem.(*Memory))
+		if _, err := m.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTRIPSBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernel("autcor", 1, RunConfig{TRIPS: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark32CoreComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernel("ammp", 1, RunConfig{Cores: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command tflexasm assembles EDGE block programs from the textual
+// assembly language, disassembles the resulting placement, and optionally
+// runs them functionally or on a TFlex composition.
+//
+// Usage:
+//
+//	tflexasm prog.tasl                   # assemble + disassemble
+//	tflexasm -run -cores 8 prog.tasl     # assemble + simulate
+//	tflexasm -run -r 1=100 prog.tasl     # seed r1 = 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/clp-sim/tflex"
+)
+
+func main() {
+	run := flag.Bool("run", false, "run the program on a TFlex composition")
+	cores := flag.Int("cores", 8, "composition size for -run")
+	var regSeeds regFlags
+	flag.Var(&regSeeds, "r", "seed register, e.g. -r 1=100 (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tflexasm [-run] [-cores N] [-r reg=val] file.tasl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexasm:", err)
+		os.Exit(1)
+	}
+	program, err := tflex.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexasm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tflex.Disassemble(program))
+
+	if !*run {
+		return
+	}
+	res, err := tflex.Run(program, tflex.RunConfig{
+		Cores: *cores,
+		Init: func(regs *[128]uint64, _ *tflex.Memory) {
+			for _, s := range regSeeds {
+				regs[s.reg] = s.val
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nran on TFlex-%d: %d cycles, %d blocks, IPC %.3f\n",
+		*cores, res.Cycles, res.Stats.BlocksCommitted, res.Stats.IPC())
+	fmt.Println("non-zero registers:")
+	for r, v := range res.Regs {
+		if v != 0 {
+			fmt.Printf("  r%-3d = %d (%#x)\n", r, v, v)
+		}
+	}
+}
+
+type regSeed struct {
+	reg int
+	val uint64
+}
+
+type regFlags []regSeed
+
+func (f *regFlags) String() string { return fmt.Sprintf("%v", []regSeed(*f)) }
+
+func (f *regFlags) Set(s string) error {
+	reg, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want reg=val, got %q", s)
+	}
+	r, err := strconv.Atoi(reg)
+	if err != nil || r < 0 || r > 127 {
+		return fmt.Errorf("bad register %q", reg)
+	}
+	v, err := strconv.ParseUint(val, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", val)
+	}
+	*f = append(*f, regSeed{r, v})
+	return nil
+}

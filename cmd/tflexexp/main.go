@@ -1,0 +1,89 @@
+// Command tflexexp regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	tflexexp -exp all
+//	tflexexp -exp fig6 -scale 4
+//	tflexexp -exp fig10 -workloads 20
+//
+// Experiments: table1, fig5, fig6, table2, fig7, fig8, fig9, handshake,
+// fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/clp-sim/tflex/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, fig5, fig6, table2, fig7, fig8, fig9, handshake, fig10, ablations, all)")
+	scale := flag.Int("scale", 2, "kernel input scale")
+	workloads := flag.Int("workloads", 10, "multiprogrammed workloads per size (fig10)")
+	flag.Parse()
+
+	s := experiments.NewSuite(*scale)
+	run := func(name string, fn func() (string, error)) {
+		fmt.Printf("\n================ %s ================\n", strings.ToUpper(name))
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tflexexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+
+	all := map[string]func() (string, error){
+		"table1": func() (string, error) { return experiments.Table1(), nil },
+		"fig5": func() (string, error) {
+			_, out, err := s.Fig5()
+			return out, err
+		},
+		"fig6": func() (string, error) {
+			_, out, err := s.Fig6()
+			return out, err
+		},
+		"table2": s.Table2,
+		"fig7": func() (string, error) {
+			_, out, err := s.Fig7()
+			return out, err
+		},
+		"fig8": func() (string, error) {
+			_, out, err := s.Fig8()
+			return out, err
+		},
+		"fig9": func() (string, error) {
+			_, out, err := s.Fig9()
+			return out, err
+		},
+		"handshake": func() (string, error) {
+			_, out, err := s.Handshake()
+			return out, err
+		},
+		"fig10": func() (string, error) {
+			_, out, err := s.Fig10(*workloads)
+			return out, err
+		},
+		"ablations": func() (string, error) {
+			_, out, err := s.Ablations(8)
+			return out, err
+		},
+	}
+	order := []string{"table1", "fig5", "fig6", "table2", "fig7", "fig8", "fig9", "handshake", "fig10", "ablations"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name, all[name])
+		}
+		return
+	}
+	fn, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tflexexp: unknown experiment %q (want one of %s, all)\n", *exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	run(*exp, fn)
+}

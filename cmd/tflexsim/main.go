@@ -1,0 +1,138 @@
+// Command tflexsim runs one benchmark on one processor configuration and
+// prints its cycle count and microarchitectural statistics.
+//
+// Usage:
+//
+//	tflexsim -kernel conv -cores 8
+//	tflexsim -kernel mcf -trips
+//	tflexsim -list
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/clp-sim/tflex"
+)
+
+func main() {
+	kernel := flag.String("kernel", "conv", "benchmark name (see -list)")
+	cores := flag.Int("cores", 8, "TFlex composition size (1, 2, 4, 8, 16, 32)")
+	useTRIPS := flag.Bool("trips", false, "run on the fixed-granularity TRIPS baseline")
+	scale := flag.Int("scale", 2, "kernel input scale")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	jsonOut := flag.Bool("json", false, "emit statistics as JSON")
+	timeline := flag.String("timeline", "", "write a per-block lifecycle CSV to this file")
+	flag.Parse()
+
+	if *list {
+		for _, k := range append(tflex.Kernels(), tflex.KernelExtras()...) {
+			ilp := "low-ilp"
+			if k.HighILP {
+				ilp = "high-ilp"
+			}
+			fmt.Printf("%-12s %-8s %s\n", k.Name, k.Suite, ilp)
+		}
+		return
+	}
+
+	runCfg := tflex.RunConfig{
+		Cores: *cores,
+		TRIPS: *useTRIPS,
+	}
+	var events []tflex.BlockEvent
+	if *timeline != "" {
+		runCfg.OnBlock = func(ev tflex.BlockEvent) { events = append(events, ev) }
+	}
+	res, err := tflex.RunKernel(*kernel, *scale, runCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexsim:", err)
+		os.Exit(1)
+	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, events); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
+		}
+	}
+	cfg := fmt.Sprintf("TFlex-%d", *cores)
+	if *useTRIPS {
+		cfg = "TRIPS"
+	}
+	st := res.Stats
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Kernel string
+			Config string
+			Scale  int
+			Cycles uint64
+			IPC    float64
+			Stats  tflex.Stats
+		}{*kernel, cfg, *scale, res.Cycles, st.IPC(), st}); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s on %s (scale %d): outputs validated against reference\n", *kernel, cfg, *scale)
+	fmt.Printf("  cycles            %d\n", res.Cycles)
+	fmt.Printf("  blocks committed  %d (flushed %d)\n", st.BlocksCommitted, st.BlocksFlushed)
+	fmt.Printf("  useful insts      %d (IPC %.3f)\n", st.InstsCommitted, st.IPC())
+	fmt.Printf("  loads/stores      %d/%d\n", st.Loads, st.Stores)
+	fmt.Printf("  branch flushes    %d\n", st.BranchFlushes)
+	fmt.Printf("  violation flushes %d\n", st.ViolationFlushes)
+	fmt.Printf("  LSQ NACKs         %d (overflow flushes %d)\n", st.LSQNACKs, st.LSQOverflowFlushes)
+	fmt.Printf("  I-cache misses    %d\n", st.ICacheMisses)
+	fc, fh, fb, fd, fi := st.FetchLatency()
+	fmt.Printf("  fetch latency     const %.1f + hand-off %.1f + distribute %.1f + dispatch %.1f + i-stall %.1f cycles/block\n",
+		fc, fh, fb, fd, fi)
+	ca, ch := st.CommitLatency()
+	fmt.Printf("  commit latency    arch %.1f + handshake %.1f cycles/block\n", ca, ch)
+	util := st.Utilization()
+	if len(util) > 0 {
+		fmt.Printf("  core utilization  ")
+		for i, u := range util {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.2f", u)
+		}
+		fmt.Println(" issued insts/cycle")
+	}
+}
+
+// writeTimeline dumps the block lifecycle events as CSV.
+func writeTimeline(path string, events []tflex.BlockEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"seq", "block", "owner", "fetched", "complete", "retired", "flushed", "useful"}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		rec := []string{
+			strconv.FormatUint(ev.Seq, 10),
+			ev.Name,
+			strconv.Itoa(ev.Owner),
+			strconv.FormatUint(ev.FetchedAt, 10),
+			strconv.FormatUint(ev.CompleteAt, 10),
+			strconv.FormatUint(ev.RetiredAt, 10),
+			strconv.FormatBool(ev.Flushed),
+			strconv.Itoa(ev.Useful),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

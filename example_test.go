@@ -1,0 +1,88 @@
+package tflex_test
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex"
+)
+
+// Build a small EDGE program and run it on a 4-core composition.
+func Example() {
+	b := tflex.NewBuilder()
+	bb := b.Block("loop")
+	i := bb.Read(2)
+	bb.Write(3, bb.Add(bb.Read(3), i))
+	i2 := bb.AddI(i, 1)
+	bb.Write(2, i2)
+	bb.BranchIf(bb.OpI(tflex.OpLt, i2, 10), "loop", "done")
+	b.Block("done").Halt()
+	program := b.MustProgram("loop")
+
+	res, err := tflex.Run(program, tflex.RunConfig{Cores: 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("r3 =", res.Regs[3])
+	// Output: r3 = 45
+}
+
+// The same binary runs on every composition size with identical results.
+func Example_composability() {
+	b := tflex.NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	bb.Write(2, bb.MulI(bb.AddI(x, 3), 7))
+	bb.Halt()
+	program := b.MustProgram("m")
+
+	for _, cores := range []int{1, 8, 32} {
+		res, err := tflex.Run(program, tflex.RunConfig{
+			Cores: cores,
+			Init:  func(regs *[128]uint64, _ *tflex.Memory) { regs[1] = 5 },
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%d cores: r2 = %d\n", cores, res.Regs[2])
+	}
+	// Output:
+	// 1 cores: r2 = 56
+	// 8 cores: r2 = 56
+	// 32 cores: r2 = 56
+}
+
+// Assemble the textual EDGE assembly language and verify it
+// architecturally before simulating.
+func ExampleAssemble() {
+	program, err := tflex.Assemble(`
+block double:
+    %x  = read r1
+    %x2 = add %x, %x
+    write r2, %x2
+    halt
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := tflex.Verify(program, func(regs *[128]uint64, _ *tflex.Memory) { regs[1] = 21 })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("r2 =", m.Regs[2])
+	// Output: r2 = 42
+}
+
+// Run a built-in benchmark on the TRIPS baseline.
+func ExampleRunKernel() {
+	res, err := tflex.RunKernel("dither", 1, tflex.RunConfig{TRIPS: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("validated:", res.Stats.BlocksCommitted > 0)
+	// Output: validated: true
+}

@@ -1,0 +1,57 @@
+// Powerarea: sweep one benchmark across compositions and print the
+// performance / area-efficiency / power-efficiency frontier — the three
+// operating targets a CLP can be tuned for at run time (paper Figures 6,
+// 7 and 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/clp-sim/tflex/internal/area"
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/experiments"
+)
+
+func main() {
+	kernel := flag.String("kernel", "autcor", "benchmark to sweep")
+	scale := flag.Int("scale", 2, "kernel input scale")
+	flag.Parse()
+
+	s := experiments.NewSuite(*scale)
+	base, err := s.TFlexRun(*kernel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseW := experiments.Power(base).Total()
+
+	fmt.Printf("%s: composition frontier (all normalized to 1 core)\n", *kernel)
+	fmt.Printf("%6s  %10s  %8s  %10s  %10s  %8s\n",
+		"cores", "cycles", "speedup", "perf/area", "perf²/W", "watts")
+	bestPerf, bestArea, bestPower := 1, 1, 1
+	var vPerf, vArea, vPower float64
+	for _, n := range compose.Sizes() {
+		r, err := s.TFlexRun(*kernel, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := float64(base.Cycles) / float64(r.Cycles)
+		w := experiments.Power(r).Total()
+		pa := sp / (area.TFlexArea(n) / area.TFlexArea(1))
+		pw := sp * sp / (w / baseW)
+		fmt.Printf("%6d  %10d  %8.2f  %10.3f  %10.3f  %8.2f\n", n, r.Cycles, sp, pa, pw, w)
+		if sp > vPerf {
+			vPerf, bestPerf = sp, n
+		}
+		if pa > vArea {
+			vArea, bestArea = pa, n
+		}
+		if pw > vPower {
+			vPower, bestPower = pw, n
+		}
+	}
+	fmt.Printf("\nbest composition by target: performance %dc, area efficiency %dc, power efficiency %dc\n",
+		bestPerf, bestArea, bestPower)
+	fmt.Println("a CLP picks among these at run time without recompiling the binary.")
+}

@@ -1,0 +1,3 @@
+module github.com/clp-sim/tflex
+
+go 1.22

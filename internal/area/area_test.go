@@ -1,0 +1,45 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEightTFlexCoresMatchTRIPS(t *testing.T) {
+	// The paper's anchor: an eight-core TFlex processor has the same area
+	// as one TRIPS processor.  Our reconstruction holds it within 10%.
+	tflex8 := TFlexArea(8)
+	trips := TRIPSArea()
+	ratio := tflex8 / trips
+	if math.Abs(ratio-1) > 0.10 {
+		t.Fatalf("8x TFlex = %.1f mm², TRIPS = %.1f mm² (ratio %.3f)", tflex8, trips, ratio)
+	}
+}
+
+func TestAreasPositiveAndLinear(t *testing.T) {
+	if TFlexCoreArea() <= 0 || TRIPSArea() <= 0 {
+		t.Fatal("non-positive areas")
+	}
+	if TFlexArea(16) != 2*TFlexArea(8) {
+		t.Fatal("composition area should scale linearly")
+	}
+}
+
+func TestPerfPerArea(t *testing.T) {
+	if PerfPerArea(0, 10) != 0 || PerfPerArea(10, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+	a := PerfPerArea(1000, TFlexArea(1))
+	b := PerfPerArea(1000, TFlexArea(2))
+	if a <= b {
+		t.Fatal("same cycles on more area must lower perf/area")
+	}
+}
+
+func TestComponentListsNamed(t *testing.T) {
+	for _, c := range append(TFlexCore(), TRIPSProcessor()...) {
+		if c.Name == "" || c.MM2 <= 0 {
+			t.Fatalf("bad component %+v", c)
+		}
+	}
+}

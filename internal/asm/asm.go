@@ -1,0 +1,532 @@
+// Package asm implements a textual assembly language for EDGE block
+// programs, in the spirit of the TRIPS intermediate language: the
+// programmer writes named dataflow values, register reads/writes,
+// predication guards and block-terminating branches; the assembler lowers
+// them through the program builder, which assigns instruction IDs,
+// target fields, LSIDs and fan-out trees.
+//
+// Example:
+//
+//	; sum the integers below r1 into r3
+//	block loop:
+//	    %i   = read r2
+//	    %n   = read r1
+//	    %acc = read r3
+//	    %acc2 = add %acc, %i
+//	    write r3, %acc2
+//	    %i2  = add %i, #1
+//	    write r2, %i2
+//	    %p   = lt %i2, %n
+//	    branch loop if %p else done
+//	block done:
+//	    halt
+//
+// Statements:
+//
+//	%v = read rN                     register read
+//	%v = const N | 0xN               integer constant
+//	%v = constf F                    float constant
+//	%v = label NAME                  block address constant
+//	%v = OP a, b                     two-operand ALU op (b may be #imm)
+//	%v = mov|itof|ftoi|fsqrt a       one-operand ops
+//	%v = select %p, a, b             predicated select
+//	%v = load.SZ a [, #off] [, signed]
+//	store.SZ a, v [, #off]           (guardable)
+//	write rN, v                      (guardable)
+//	branch NAME                      unconditional
+//	branch NAME if %p else NAME2     conditional pair
+//	call NAME / ret v / halt
+//
+// `write` and `store` accept a trailing guard: `if %p` or `unless %p`.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/prog"
+)
+
+var binOps = map[string]isa.Opcode{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul,
+	"div": isa.OpDiv, "divu": isa.OpDivU, "mod": isa.OpMod,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"shl": isa.OpShl, "shr": isa.OpShr, "sra": isa.OpSra,
+	"eq": isa.OpEq, "ne": isa.OpNe, "lt": isa.OpLt, "le": isa.OpLe,
+	"ltu": isa.OpLtU, "leu": isa.OpLeU,
+	"fadd": isa.OpFAdd, "fsub": isa.OpFSub, "fmul": isa.OpFMul,
+	"fdiv": isa.OpFDiv, "feq": isa.OpFEq, "flt": isa.OpFLt, "fle": isa.OpFLe,
+}
+
+var unOps = map[string]isa.Opcode{
+	"mov": isa.OpMov, "itof": isa.OpIToF, "ftoi": isa.OpFToI, "fsqrt": isa.OpFSqrt,
+}
+
+// Error is an assembly error with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	b     *prog.Builder
+	bb    *prog.BlockBuilder
+	vals  map[string]prog.Ref
+	entry string
+}
+
+// Assemble parses and lowers a program; the entry block is the first one.
+func Assemble(src string) (*prog.Program, error) {
+	a := &assembler{b: prog.NewBuilder()}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.stmt(line); err != nil {
+			return nil, &Error{Line: ln + 1, Msg: err.Error()}
+		}
+	}
+	if a.entry == "" {
+		return nil, &Error{Line: 0, Msg: "no blocks defined"}
+	}
+	p, err := a.b.Program(a.entry)
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+func (a *assembler) stmt(line string) error {
+	// Block header.
+	if rest, ok := strings.CutPrefix(line, "block "); ok {
+		name, ok := strings.CutSuffix(strings.TrimSpace(rest), ":")
+		if !ok {
+			return fmt.Errorf("block header must end with ':'")
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("empty block name")
+		}
+		a.bb = a.b.Block(name)
+		a.vals = map[string]prog.Ref{}
+		if a.entry == "" {
+			a.entry = name
+		}
+		return nil
+	}
+	if a.bb == nil {
+		return fmt.Errorf("statement outside a block")
+	}
+	// Value definition.
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return fmt.Errorf("expected '=' in value definition")
+		}
+		name := strings.TrimSpace(line[:eq])
+		if !validValName(name) {
+			return fmt.Errorf("invalid value name %q", name)
+		}
+		if _, dup := a.vals[name]; dup {
+			return fmt.Errorf("value %s redefined", name)
+		}
+		ref, err := a.expr(strings.TrimSpace(line[eq+1:]))
+		if err != nil {
+			return err
+		}
+		a.vals[name] = ref
+		return nil
+	}
+	return a.action(line)
+}
+
+func validValName(s string) bool {
+	if len(s) < 2 || s[0] != '%' {
+		return false
+	}
+	for _, c := range s[1:] {
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// expr lowers the right-hand side of a value definition.
+func (a *assembler) expr(rhs string) (prog.Ref, error) {
+	op, rest, _ := strings.Cut(rhs, " ")
+	rest = strings.TrimSpace(rest)
+	args := splitArgs(rest)
+
+	switch op {
+	case "read":
+		if len(args) != 1 {
+			return prog.Ref{}, fmt.Errorf("read takes one register")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		return a.bb.Read(r), nil
+	case "const":
+		if len(args) != 1 {
+			return prog.Ref{}, fmt.Errorf("const takes one integer")
+		}
+		v, err := parseInt(args[0])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		return a.bb.Const(v), nil
+	case "constf":
+		if len(args) != 1 {
+			return prog.Ref{}, fmt.Errorf("constf takes one float")
+		}
+		f, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return prog.Ref{}, fmt.Errorf("bad float %q", args[0])
+		}
+		return a.bb.ConstF(f), nil
+	case "label":
+		if len(args) != 1 {
+			return prog.Ref{}, fmt.Errorf("label takes one block name")
+		}
+		return a.bb.LabelAddr(args[0]), nil
+	case "select":
+		if len(args) != 3 {
+			return prog.Ref{}, fmt.Errorf("select takes predicate, a, b")
+		}
+		p, err := a.val(args[0])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		x, err := a.val(args[1])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		y, err := a.val(args[2])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		return a.bb.Select(p, x, y), nil
+	}
+
+	if strings.HasPrefix(op, "load.") {
+		size, err := parseSize(op[5:])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		if len(args) < 1 {
+			return prog.Ref{}, fmt.Errorf("load needs an address")
+		}
+		addr, err := a.val(args[0])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		off := int64(0)
+		signed := false
+		for _, extra := range args[1:] {
+			if extra == "signed" {
+				signed = true
+				continue
+			}
+			off, err = parseImm(extra)
+			if err != nil {
+				return prog.Ref{}, err
+			}
+		}
+		return a.bb.Load(addr, off, size, signed), nil
+	}
+
+	if o, ok := unOps[op]; ok {
+		if len(args) != 1 {
+			return prog.Ref{}, fmt.Errorf("%s takes one operand", op)
+		}
+		v, err := a.val(args[0])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		return a.bb.Op1(o, v), nil
+	}
+	if o, ok := binOps[op]; ok {
+		if len(args) != 2 {
+			return prog.Ref{}, fmt.Errorf("%s takes two operands", op)
+		}
+		x, err := a.val(args[0])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		if strings.HasPrefix(args[1], "#") {
+			imm, err := parseImm(args[1])
+			if err != nil {
+				return prog.Ref{}, err
+			}
+			if o.IsFP() {
+				return prog.Ref{}, fmt.Errorf("%s cannot take an immediate", op)
+			}
+			return a.bb.OpI(o, x, imm), nil
+		}
+		y, err := a.val(args[1])
+		if err != nil {
+			return prog.Ref{}, err
+		}
+		return a.bb.Op(o, x, y), nil
+	}
+	return prog.Ref{}, fmt.Errorf("unknown operation %q", op)
+}
+
+// action lowers a non-value statement.
+func (a *assembler) action(line string) error {
+	op, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+
+	// Peel a trailing guard from write/store.
+	guard := func(s string) (body string, bb *prog.BlockBuilder, err error) {
+		bb = a.bb
+		if i := strings.Index(s, " if %"); i >= 0 {
+			p, err := a.val(strings.TrimSpace(s[i+4:]))
+			if err != nil {
+				return "", nil, err
+			}
+			return strings.TrimSpace(s[:i]), a.bb.When(p), nil
+		}
+		if i := strings.Index(s, " unless %"); i >= 0 {
+			p, err := a.val(strings.TrimSpace(s[i+8:]))
+			if err != nil {
+				return "", nil, err
+			}
+			return strings.TrimSpace(s[:i]), a.bb.Unless(p), nil
+		}
+		return s, bb, nil
+	}
+
+	switch {
+	case op == "write":
+		body, bb, err := guard(rest)
+		if err != nil {
+			return err
+		}
+		args := splitArgs(body)
+		if len(args) != 2 {
+			return fmt.Errorf("write takes register, value")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.val(args[1])
+		if err != nil {
+			return err
+		}
+		bb.Write(r, v)
+		return nil
+
+	case strings.HasPrefix(op, "store."):
+		size, err := parseSize(op[6:])
+		if err != nil {
+			return err
+		}
+		body, bb, err := guard(rest)
+		if err != nil {
+			return err
+		}
+		args := splitArgs(body)
+		if len(args) < 2 {
+			return fmt.Errorf("store takes address, value")
+		}
+		addr, err := a.val(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.val(args[1])
+		if err != nil {
+			return err
+		}
+		off := int64(0)
+		if len(args) == 3 {
+			off, err = parseImm(args[2])
+			if err != nil {
+				return err
+			}
+		}
+		bb.Store(addr, v, off, size)
+		return nil
+
+	case op == "branch":
+		// branch NAME [if %p else NAME2]
+		if i := strings.Index(rest, " if "); i >= 0 {
+			then := strings.TrimSpace(rest[:i])
+			tail := strings.TrimSpace(rest[i+4:])
+			pName, elseName, ok := strings.Cut(tail, " else ")
+			if !ok {
+				return fmt.Errorf("conditional branch needs 'else'")
+			}
+			p, err := a.val(strings.TrimSpace(pName))
+			if err != nil {
+				return err
+			}
+			a.bb.BranchIf(p, then, strings.TrimSpace(elseName))
+			return nil
+		}
+		if rest == "" {
+			return fmt.Errorf("branch needs a target")
+		}
+		a.bb.Branch(rest)
+		return nil
+
+	case op == "call":
+		if rest == "" {
+			return fmt.Errorf("call needs a target")
+		}
+		a.bb.Call(rest)
+		return nil
+
+	case op == "ret":
+		v, err := a.val(rest)
+		if err != nil {
+			return err
+		}
+		a.bb.Ret(v)
+		return nil
+
+	case op == "halt":
+		a.bb.Halt()
+		return nil
+	}
+	return fmt.Errorf("unknown statement %q", op)
+}
+
+func (a *assembler) val(tok string) (prog.Ref, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "%") {
+		return prog.Ref{}, fmt.Errorf("expected a %%value, got %q", tok)
+	}
+	r, ok := a.vals[tok]
+	if !ok {
+		return prog.Ref{}, fmt.Errorf("undefined value %s", tok)
+	}
+	return r, nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(tok string) (int, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("expected register rN, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("invalid register %q", tok)
+	}
+	return n, nil
+}
+
+func parseInt(tok string) (int64, error) {
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex.
+		if u, uerr := strconv.ParseUint(tok, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad integer %q", tok)
+	}
+	return v, nil
+}
+
+func parseImm(tok string) (int64, error) {
+	if !strings.HasPrefix(tok, "#") {
+		return 0, fmt.Errorf("expected #imm, got %q", tok)
+	}
+	return parseInt(tok[1:])
+}
+
+func parseSize(tok string) (int, error) {
+	switch tok {
+	case "1", "2", "4", "8":
+		n, _ := strconv.Atoi(tok)
+		return n, nil
+	}
+	return 0, fmt.Errorf("bad access size %q (want 1, 2, 4 or 8)", tok)
+}
+
+// Disassemble renders a laid-out program as an ISA-level listing: the
+// final instruction placement, target fields, LSIDs and predicates.
+func Disassemble(p *prog.Program) string {
+	var sb strings.Builder
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&sb, "block %s @ %#x  ; reads=%d writes=%d stores=%d\n",
+			blk.Name, blk.Addr, len(blk.Reads), len(blk.Writes), blk.NumStores)
+		for i, rd := range blk.Reads {
+			fmt.Fprintf(&sb, "  read[%d]  r%-3d %s\n", i, rd.Reg, targets(rd.Targets))
+		}
+		for i, wr := range blk.Writes {
+			fmt.Fprintf(&sb, "  write[%d] r%d\n", i, wr.Reg)
+		}
+		for i := range blk.Insts {
+			in := &blk.Insts[i]
+			if in.Op == isa.OpNop {
+				continue
+			}
+			fmt.Fprintf(&sb, "  [%3d] %-6s", i, in.Op.String()+in.Pred.String())
+			if in.Op.IsMem() {
+				fmt.Fprintf(&sb, " lsid=%d size=%d off=%d", in.LSID, in.MemSize, in.Imm)
+			} else if in.Op == isa.OpGenC {
+				if in.BranchTo != "" {
+					fmt.Fprintf(&sb, " @%s", in.BranchTo)
+				} else if f := math.Float64frombits(uint64(in.Imm)); in.Imm != 0 && isLikelyFloat(f) {
+					fmt.Fprintf(&sb, " #%v", f)
+				} else {
+					fmt.Fprintf(&sb, " #%d", in.Imm)
+				}
+			} else if in.HasImm {
+				fmt.Fprintf(&sb, " #%d", in.Imm)
+			}
+			if in.Op.IsBranch() {
+				fmt.Fprintf(&sb, " exit=%d", in.Exit)
+				if in.BranchTo != "" {
+					fmt.Fprintf(&sb, " -> %s", in.BranchTo)
+				}
+			}
+			if in.Op == isa.OpNull && in.NullLSID >= 0 {
+				fmt.Fprintf(&sb, " lsid=%d", in.NullLSID)
+			}
+			if ts := targets(in.Targets); ts != "" {
+				sb.WriteString(" " + ts)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func targets(ts []isa.Target) string {
+	var parts []string
+	for _, t := range ts {
+		parts = append(parts, "->"+t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func isLikelyFloat(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0) && math.Abs(f) > 1e-12 && math.Abs(f) < 1e12 &&
+		f != math.Trunc(f)
+}

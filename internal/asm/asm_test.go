@@ -1,0 +1,203 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/sim"
+)
+
+const sumSrc = `
+; sum the integers below r1 into r3
+block loop:
+    %i    = read r2
+    %n    = read r1
+    %acc  = read r3
+    %acc2 = add %acc, %i
+    write r3, %acc2
+    %i2   = add %i, #1
+    write r2, %i2
+    %p    = lt %i2, %n
+    branch loop if %p else done
+block done:
+    halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exec.NewMachine(p)
+	m.Regs[1] = 10
+	st, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted || m.Regs[3] != 45 {
+		t.Fatalf("halted=%v r3=%d", st.Halted, m.Regs[3])
+	}
+}
+
+func TestAssembledProgramOnSimulator(t *testing.T) {
+	p, err := Assemble(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := sim.New(sim.DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 10
+	if err := chip.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Regs[3] != 45 {
+		t.Fatalf("r3 = %d", proc.Regs[3])
+	}
+}
+
+func TestAssembleMemoryAndGuards(t *testing.T) {
+	src := `
+block m:
+    %base = read r1
+    %x    = read r2
+    %p    = ltu %x, #10
+    store.8 %base, %x if %p
+    %zero = const 0
+    %v    = select %p, %x, %zero
+    write r3, %v
+    %big  = const 0xff
+    write r4, %big unless %p
+    write r4, %x if %p
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(x uint64) *exec.Machine {
+		m := exec.NewMachine(p)
+		m.Regs[1] = 0x5000
+		m.Regs[2] = x
+		if _, err := m.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	lo := run(5)
+	if lo.Regs[3] != 5 || lo.Regs[4] != 5 || lo.Mem.(*exec.PageMem).Read64(0x5000) != 5 {
+		t.Fatalf("taken path: r3=%d r4=%d mem=%d", lo.Regs[3], lo.Regs[4], lo.Mem.(*exec.PageMem).Read64(0x5000))
+	}
+	hi := run(50)
+	if hi.Regs[3] != 0 || hi.Regs[4] != 0xff || hi.Mem.(*exec.PageMem).Read64(0x5000) != 0 {
+		t.Fatalf("nulled path: r3=%d r4=%d mem=%d", hi.Regs[3], hi.Regs[4], hi.Mem.(*exec.PageMem).Read64(0x5000))
+	}
+}
+
+func TestAssembleCallRet(t *testing.T) {
+	src := `
+block main:
+    %ra = label after
+    write r1, %ra
+    %a  = const 6
+    write r2, %a
+    call triple
+block triple:
+    %x  = read r2
+    %x3 = mul %x, #3
+    write r3, %x3
+    %lnk = read r1
+    ret %lnk
+block after:
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exec.NewMachine(p)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 18 {
+		t.Fatalf("r3 = %d", m.Regs[3])
+	}
+}
+
+func TestAssembleFloat(t *testing.T) {
+	src := `
+block m:
+    %a = constf 1.5
+    %b = constf 2.25
+    %s = fadd %a, %b
+    write r10, %s
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exec.NewMachine(p)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.(*exec.PageMem); got == nil {
+		t.Fatal("no mem")
+	}
+	if f := m.Regs[10]; f != 0x400e000000000000 { // 3.75
+		t.Fatalf("r10 = %#x", f)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"statement outside block": "%v = const 1",
+		"missing colon":           "block m\n halt",
+		"unknown op":              "block m:\n %v = frob %v\n halt",
+		"undefined value":         "block m:\n write r1, %nope\n halt",
+		"redefined value":         "block m:\n %v = const 1\n %v = const 2\n halt",
+		"bad register":            "block m:\n %v = read r999\n halt",
+		"bad size":                "block m:\n %a = const 1\n %v = load.3 %a\n halt",
+		"bad imm":                 "block m:\n %a = const 1\n %v = add %a, #zz\n halt",
+		"cond without else":       "block m:\n %a = const 1\n branch x if %a\nblock x:\n halt",
+		"fp immediate":            "block m:\n %a = constf 1.0\n %v = fadd %a, #2\n halt",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Errors carry line numbers.
+	_, err := Assemble("block m:\n    halt\nbogus statement here\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p, err := Assemble(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p)
+	for _, want := range []string{"block loop", "block done", "add", "bro", "halt", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Nop slots are not listed.
+	if strings.Contains(out, "nop") {
+		t.Error("disassembly should skip empty slots")
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	src := "\n; leading comment\n\nblock m: ; trailing comment\n   halt ; done\n\n"
+	if _, err := Assemble(src); err != nil {
+		t.Fatal(err)
+	}
+}

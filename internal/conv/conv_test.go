@@ -1,0 +1,151 @@
+package conv
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/prog"
+)
+
+func traceOf(t testing.TB, p *prog.Program, setup func(m *exec.Machine)) []exec.TraceEntry {
+	t.Helper()
+	m := exec.NewMachine(p)
+	m.Trace = &exec.Trace{}
+	if setup != nil {
+		setup(m)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m.Trace.Entries
+}
+
+func loopProgram(t testing.TB, iters int64) *prog.Program {
+	b := prog.NewBuilder()
+	bb := b.Block("loop")
+	i := bb.Read(2)
+	acc := bb.Read(3)
+	bb.Write(3, bb.Add(acc, i))
+	i2 := bb.AddI(i, 1)
+	bb.Write(2, i2)
+	bb.BranchIf(bb.OpI(isa.OpLt, i2, iters), "loop", "done")
+	b.Block("done").Halt()
+	return b.MustProgram("loop")
+}
+
+func TestConvRunsTrace(t *testing.T) {
+	tr := traceOf(t, loopProgram(t, 500), nil)
+	res := Run(tr, DefaultConfig())
+	if res.Cycles == 0 || res.Insts == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.IPC <= 0 || res.IPC > 4 {
+		t.Fatalf("IPC %v out of range for a 4-wide machine", res.IPC)
+	}
+}
+
+func TestConvEmptyTrace(t *testing.T) {
+	res := Run(nil, DefaultConfig())
+	if res.Cycles != 0 || res.Insts != 0 {
+		t.Fatalf("expected zero result, got %+v", res)
+	}
+}
+
+func TestConvPredictableLoopFewMispredicts(t *testing.T) {
+	tr := traceOf(t, loopProgram(t, 1000), nil)
+	res := Run(tr, DefaultConfig())
+	// The backward branch is taken 999 times and not-taken once; a gshare
+	// should learn it almost perfectly.
+	if res.BranchMispredicts > 20 {
+		t.Fatalf("mispredicts = %d on a monotone loop", res.BranchMispredicts)
+	}
+}
+
+func TestConvWiderMachineFaster(t *testing.T) {
+	// A kernel with ILP: a wider machine should finish sooner.
+	b := prog.NewBuilder()
+	bb := b.Block("loop")
+	for lane := 0; lane < 8; lane++ {
+		x := bb.Read(10 + lane)
+		bb.Write(10+lane, bb.MulI(bb.AddI(x, 3), 5))
+	}
+	i2 := bb.AddI(bb.Read(2), 1)
+	bb.Write(2, i2)
+	bb.BranchIf(bb.OpI(isa.OpLt, i2, 400), "loop", "done")
+	b.Block("done").Halt()
+	tr := traceOf(t, b.MustProgram("loop"), nil)
+
+	narrow := DefaultConfig()
+	narrow.FetchWidth, narrow.IssueWidth, narrow.CommitWidth = 1, 1, 1
+	wide := DefaultConfig()
+	rNarrow := Run(tr, narrow)
+	rWide := Run(tr, wide)
+	if rWide.Cycles >= rNarrow.Cycles {
+		t.Fatalf("wide (%d) not faster than narrow (%d)", rWide.Cycles, rNarrow.Cycles)
+	}
+}
+
+func TestConvMemoryLatencyMatters(t *testing.T) {
+	// Pointer-chase: each load depends on the previous one; a working set
+	// larger than L1 makes the chase memory-bound.
+	b := prog.NewBuilder()
+	init := b.Block("init")
+	init.Write(5, init.Read(1)) // cursor = base
+	init.Branch("chase")
+	bb := b.Block("chase")
+	cur := bb.Read(5)
+	next := bb.Load(cur, 0, 8, false)
+	bb.Write(5, next)
+	i2 := bb.AddI(bb.Read(2), 1)
+	bb.Write(2, i2)
+	bb.BranchIf(bb.OpI(isa.OpLt, i2, 3000), "chase", "done")
+	b.Block("done").Halt()
+	p := b.MustProgram("init")
+
+	tr := traceOf(t, p, func(m *exec.Machine) {
+		m.Regs[1] = 0x400000
+		// A ring with a large stride so every access misses L1.
+		const nodes = 4096
+		pm := m.Mem.(*exec.PageMem)
+		for i := uint64(0); i < nodes; i++ {
+			next := 0x400000 + ((i*17)%nodes)*4096
+			pm.Write64(0x400000+((i*17+17-1*0)%nodes)*4096, next)
+		}
+		// Simpler deterministic ring: node i -> node (i+1)%nodes, stride 4KB.
+		for i := uint64(0); i < nodes; i++ {
+			pm.Write64(0x400000+i*4096, 0x400000+((i+1)%nodes)*4096)
+		}
+	})
+	res := Run(tr, DefaultConfig())
+	if res.L1DMisses < 1000 {
+		t.Fatalf("expected heavy L1 misses, got %d", res.L1DMisses)
+	}
+	// Cycles per load should be near memory latency.
+	cpl := float64(res.Cycles) / 3000
+	if cpl < 20 {
+		t.Fatalf("pointer chase too fast: %.1f cycles per load", cpl)
+	}
+}
+
+func TestConvStoreForwarding(t *testing.T) {
+	// Store then immediately load the same address in a loop: forwarding
+	// keeps this fast despite the dependence.
+	b := prog.NewBuilder()
+	bb := b.Block("loop")
+	base := bb.Read(1)
+	v := bb.Read(3)
+	bb.Store(base, v, 0, 8)
+	v2 := bb.Load(base, 0, 8, false)
+	bb.Write(3, bb.AddI(v2, 1))
+	i2 := bb.AddI(bb.Read(2), 1)
+	bb.Write(2, i2)
+	bb.BranchIf(bb.OpI(isa.OpLt, i2, 300), "loop", "done")
+	b.Block("done").Halt()
+	tr := traceOf(t, b.MustProgram("loop"), func(m *exec.Machine) { m.Regs[1] = 0x500000 })
+	res := Run(tr, DefaultConfig())
+	cpi := float64(res.Cycles) / float64(res.Insts)
+	if cpi > 6 {
+		t.Fatalf("store-forwarded loop too slow: CPI %.2f", cpi)
+	}
+}

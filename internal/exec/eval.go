@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"math"
+
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// EvalALU computes the result of a non-memory, non-branch instruction.
+// For two-operand ops with HasImm, the immediate supplies the right
+// operand.  Division by zero yields zero (the hardware raises no trap in
+// this model).  Floating-point values are IEEE-754 bit patterns.
+func EvalALU(in *isa.Inst, a, b uint64) uint64 {
+	if in.HasImm && in.Op.NumOperands() == 2 {
+		b = uint64(in.Imm)
+	}
+	switch in.Op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpMul:
+		return a * b
+	case isa.OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case isa.OpDivU:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.OpMod:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShl:
+		return a << (b & 63)
+	case isa.OpShr:
+		return a >> (b & 63)
+	case isa.OpSra:
+		return uint64(int64(a) >> (b & 63))
+	case isa.OpEq:
+		return boolVal(a == b)
+	case isa.OpNe:
+		return boolVal(a != b)
+	case isa.OpLt:
+		return boolVal(int64(a) < int64(b))
+	case isa.OpLe:
+		return boolVal(int64(a) <= int64(b))
+	case isa.OpLtU:
+		return boolVal(a < b)
+	case isa.OpLeU:
+		return boolVal(a <= b)
+	case isa.OpMov:
+		return a
+	case isa.OpGenC:
+		return uint64(in.Imm)
+	case isa.OpFAdd:
+		return fop(a, b, func(x, y float64) float64 { return x + y })
+	case isa.OpFSub:
+		return fop(a, b, func(x, y float64) float64 { return x - y })
+	case isa.OpFMul:
+		return fop(a, b, func(x, y float64) float64 { return x * y })
+	case isa.OpFDiv:
+		return fop(a, b, func(x, y float64) float64 { return x / y })
+	case isa.OpFSqrt:
+		return math.Float64bits(math.Sqrt(math.Float64frombits(a)))
+	case isa.OpFEq:
+		return boolVal(math.Float64frombits(a) == math.Float64frombits(b))
+	case isa.OpFLt:
+		return boolVal(math.Float64frombits(a) < math.Float64frombits(b))
+	case isa.OpFLe:
+		return boolVal(math.Float64frombits(a) <= math.Float64frombits(b))
+	case isa.OpIToF:
+		return math.Float64bits(float64(int64(a)))
+	case isa.OpFToI:
+		f := math.Float64frombits(a)
+		if math.IsNaN(f) {
+			return 0
+		}
+		return uint64(int64(f))
+	}
+	return 0
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fop(a, b uint64, f func(float64, float64) float64) uint64 {
+	return math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b)))
+}
+
+// PredMatches reports whether a predicate operand value satisfies the
+// instruction's predication sense.
+func PredMatches(kind isa.PredKind, v uint64) bool {
+	switch kind {
+	case isa.PredOnTrue:
+		return v != 0
+	case isa.PredOnFalse:
+		return v == 0
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// Property tests pinning EvalALU to Go's own integer and floating-point
+// semantics.
+
+func eval(op isa.Opcode, a, b uint64) uint64 {
+	in := isa.Inst{Op: op}
+	return EvalALU(&in, a, b)
+}
+
+func TestEvalMatchesGoIntegerSemantics(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if eval(isa.OpAdd, a, b) != a+b {
+			return false
+		}
+		if eval(isa.OpSub, a, b) != a-b {
+			return false
+		}
+		if eval(isa.OpMul, a, b) != a*b {
+			return false
+		}
+		if eval(isa.OpAnd, a, b) != a&b {
+			return false
+		}
+		if eval(isa.OpOr, a, b) != a|b {
+			return false
+		}
+		if eval(isa.OpXor, a, b) != a^b {
+			return false
+		}
+		if eval(isa.OpShl, a, b) != a<<(b&63) {
+			return false
+		}
+		if eval(isa.OpShr, a, b) != a>>(b&63) {
+			return false
+		}
+		if eval(isa.OpSra, a, b) != uint64(int64(a)>>(b&63)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalDivisionSemantics(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if b == 0 {
+			return eval(isa.OpDiv, a, b) == 0 &&
+				eval(isa.OpDivU, a, b) == 0 &&
+				eval(isa.OpMod, a, b) == 0
+		}
+		if eval(isa.OpDivU, a, b) != a/b {
+			return false
+		}
+		// Signed overflow case MinInt64 / -1 would trap in Go; the model
+		// follows Go semantics only where defined.
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return true
+		}
+		return eval(isa.OpDiv, a, b) == uint64(int64(a)/int64(b)) &&
+			eval(isa.OpMod, a, b) == uint64(int64(a)%int64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalComparisonsAreBoolean(t *testing.T) {
+	ops := []isa.Opcode{isa.OpEq, isa.OpNe, isa.OpLt, isa.OpLe, isa.OpLtU, isa.OpLeU, isa.OpFEq, isa.OpFLt, isa.OpFLe}
+	f := func(a, b uint64, sel uint8) bool {
+		v := eval(ops[int(sel)%len(ops)], a, b)
+		return v == 0 || v == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalFloatMatchesGo(t *testing.T) {
+	f := func(af, bf float64) bool {
+		a, b := math.Float64bits(af), math.Float64bits(bf)
+		checks := []struct {
+			op   isa.Opcode
+			want float64
+		}{
+			{isa.OpFAdd, af + bf},
+			{isa.OpFSub, af - bf},
+			{isa.OpFMul, af * bf},
+			{isa.OpFDiv, af / bf},
+		}
+		for _, c := range checks {
+			got := eval(c.op, a, b)
+			want := math.Float64bits(c.want)
+			// NaNs compare by bit pattern class, not equality.
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(math.Float64frombits(got)) {
+					return false
+				}
+				continue
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalConversionRoundTrips(t *testing.T) {
+	f := func(v int32) bool {
+		// int -> float -> int is exact for 32-bit values.
+		fbits := eval(isa.OpIToF, uint64(int64(v)), 0)
+		back := eval(isa.OpFToI, fbits, 0)
+		return int64(back) == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredMatchesSemantics(t *testing.T) {
+	f := func(v uint64) bool {
+		return PredMatches(isa.PredNone, v) &&
+			PredMatches(isa.PredOnTrue, v) == (v != 0) &&
+			PredMatches(isa.PredOnFalse, v) == (v == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

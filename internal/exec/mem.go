@@ -1,0 +1,102 @@
+// Package exec implements architectural (functional) execution of EDGE
+// programs: dataflow firing within blocks, predication with null/dead token
+// propagation, load/store ordering by LSID, and sequential block-to-block
+// control flow.  It also produces linearized instruction traces for the
+// conventional-superscalar comparison model.
+//
+// The timing simulator reuses this package's ALU evaluation and memory so
+// that simulated runs are bit-identical to functional runs — the basis of
+// the end-to-end correctness tests.
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Mem is the architectural memory interface.
+type Mem interface {
+	Load(addr uint64, size int, signed bool) uint64
+	Store(addr uint64, size int, val uint64)
+}
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// PageMem is a sparse paged byte-addressable little-endian memory.
+// The zero value is ready to use.
+type PageMem struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewPageMem returns an empty memory.
+func NewPageMem() *PageMem { return &PageMem{pages: map[uint64]*[pageSize]byte{}} }
+
+func (m *PageMem) page(addr uint64, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		m.pages = map[uint64]*[pageSize]byte{}
+	}
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func (m *PageMem) readBytes(addr uint64, buf []byte) {
+	for i := range buf {
+		p := m.page(addr+uint64(i), false)
+		if p == nil {
+			buf[i] = 0
+			continue
+		}
+		buf[i] = p[(addr+uint64(i))&(pageSize-1)]
+	}
+}
+
+func (m *PageMem) writeBytes(addr uint64, buf []byte) {
+	for i := range buf {
+		p := m.page(addr+uint64(i), true)
+		p[(addr+uint64(i))&(pageSize-1)] = buf[i]
+	}
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr, sign- or zero-extending.
+func (m *PageMem) Load(addr uint64, size int, signed bool) uint64 {
+	var buf [8]byte
+	m.readBytes(addr, buf[:size])
+	v := binary.LittleEndian.Uint64(buf[:])
+	if signed {
+		shift := 64 - 8*size
+		v = uint64(int64(v<<uint(shift)) >> uint(shift))
+	}
+	return v
+}
+
+// Store writes the low size bytes of val at addr.
+func (m *PageMem) Store(addr uint64, size int, val uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	m.writeBytes(addr, buf[:size])
+}
+
+// Convenience accessors for harnesses and tests.
+
+func (m *PageMem) Read64(addr uint64) uint64       { return m.Load(addr, 8, false) }
+func (m *PageMem) Write64(addr uint64, v uint64)   { m.Store(addr, 8, v) }
+func (m *PageMem) Read32(addr uint64) uint32       { return uint32(m.Load(addr, 4, false)) }
+func (m *PageMem) Write32(addr uint64, v uint32)   { m.Store(addr, 4, uint64(v)) }
+func (m *PageMem) ReadF64(addr uint64) float64     { return math.Float64frombits(m.Read64(addr)) }
+func (m *PageMem) WriteF64(addr uint64, v float64) { m.Write64(addr, math.Float64bits(v)) }
+
+// WriteBytes copies raw bytes into memory.
+func (m *PageMem) WriteBytes(addr uint64, b []byte) { m.writeBytes(addr, b) }
+
+// ReadBytes copies raw bytes out of memory.
+func (m *PageMem) ReadBytes(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	m.readBytes(addr, b)
+	return b
+}

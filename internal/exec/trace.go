@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// TraceEntry is one dynamic instruction in the linearized trace consumed by
+// the conventional-superscalar model.  Fan-out movs are elided (their
+// consumers depend directly on the mov's producer), and register
+// reads/writes become cross-entry dependences, so the trace approximates
+// what a conventional compiler would have emitted for the same dataflow.
+type TraceEntry struct {
+	Op         isa.Opcode
+	PC         uint64
+	Src1, Src2 int32 // producer trace indices; -1 = none/architectural
+	Addr       uint64
+	Size       uint8
+	IsLoad     bool
+	IsStore    bool
+	IsBranch   bool
+	Taken      bool
+	Target     uint64
+}
+
+// Trace accumulates linearized dynamic instructions.
+type Trace struct {
+	Entries []TraceEntry
+	Limit   int // maximum entries (0 = default)
+}
+
+// DefaultTraceLimit bounds trace memory for runaway programs.
+const DefaultTraceLimit = 8 << 20
+
+func (t *Trace) limit() int {
+	if t.Limit > 0 {
+		return t.Limit
+	}
+	return DefaultTraceLimit
+}
+
+// src encoding inside a block run: values >= 0 are global trace indices
+// (cross-block producers); -1 is "no producer"; values <= -2 encode local
+// instruction node indices as -(idx+2), resolved when the block's entries
+// are appended to the trace.
+func localSrc(idx int) int32 { return int32(-(idx + 2)) }
+
+func (r *blockRun) emitTrace() {
+	if r.trace == nil {
+		return
+	}
+	t := r.trace
+	// Program order: instruction IDs ascending.
+	ids := append([]int(nil), r.firedIDs...)
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	local2global := make(map[int]int32, len(ids))
+	resolve := func(src int32) int32 {
+		if src >= -1 {
+			return src
+		}
+		idx := int(-(src + 2))
+		if g, ok := local2global[idx]; ok {
+			return g
+		}
+		return -1
+	}
+	base := len(t.Entries)
+	if base+len(ids) > t.limit() {
+		return // stop tracing; callers check Truncated
+	}
+	for _, idx := range ids {
+		in := &r.b.Insts[idx]
+		st := &r.insts[idx]
+		g := int32(len(t.Entries))
+		local2global[idx] = g
+		e := TraceEntry{
+			Op: in.Op,
+			PC: r.b.Addr + uint64(idx)*4,
+		}
+		switch {
+		case in.Op == isa.OpLoad:
+			e.IsLoad = true
+			e.Addr = st.left.val + uint64(in.Imm)
+			e.Size = in.MemSize
+			e.Src1 = resolve(st.left.src)
+		case in.Op == isa.OpStore:
+			e.IsStore = true
+			e.Addr = st.left.val + uint64(in.Imm)
+			e.Size = in.MemSize
+			e.Src1 = resolve(st.left.src)
+			e.Src2 = resolve(st.right.src)
+		case in.Op.IsBranch():
+			e.IsBranch = true
+			e.Target = r.res.Branch.Target
+			// Taken if the target is not the next sequential block.
+			e.Taken = r.res.Branch.Target != r.b.Addr+uint64(isa.BlockBytes)
+			e.Src1 = resolve(st.left.src)
+			e.Src2 = -1
+		default:
+			e.Src1 = -1
+			e.Src2 = -1
+			if st.left.need {
+				e.Src1 = resolve(st.left.src)
+			}
+			if st.right.need {
+				e.Src2 = resolve(st.right.src)
+			}
+		}
+		if in.Pred != isa.PredNone && e.Src2 < 0 {
+			// The predicate is a real data dependence in conventional code
+			// (it would be a compare+cmov or branch); model it as a source.
+			e.Src2 = resolve(st.pred.src)
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	// Update the machine-level register producer map with global indices.
+	if r.regSrc != nil {
+		for i := range r.wr {
+			if r.wr[i].got {
+				r.regSrc[r.b.Writes[i].Reg] = resolve(r.wr[i].src)
+			}
+		}
+	}
+	_ = base
+}

@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the Core2-baseline comparison (Figure 5), the composition
+// performance sweep (Figure 6), area and power efficiency (Table 2,
+// Figures 7 and 8), the distributed-protocol overhead analysis (Figure 9
+// and the §6.4 instantaneous-handshake ablation), and the multiprogrammed
+// weighted-speedup comparison against fixed CMPs (Figure 10).
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/conv"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/kernels"
+	"github.com/clp-sim/tflex/internal/power"
+	"github.com/clp-sim/tflex/internal/sim"
+	"github.com/clp-sim/tflex/internal/trips"
+)
+
+// MaxCycles bounds every simulation.
+const MaxCycles = 2_000_000_000
+
+// RunResult captures one timing-simulator run.
+type RunResult struct {
+	Cycles   uint64
+	Stats    sim.Stats
+	Counters power.Counters
+}
+
+// Suite runs and caches the experiment simulations.
+type Suite struct {
+	Scale int   // kernel input scale
+	Sizes []int // TFlex composition sizes
+
+	tflex  map[string]map[int]RunResult // kernel -> cores -> result
+	tripsR map[string]RunResult
+	core2  map[string]conv.Result
+	zeroHS map[string]RunResult // 32-core zero-handshake runs
+}
+
+// NewSuite returns a suite at the given kernel scale.
+func NewSuite(scale int) *Suite {
+	return &Suite{
+		Scale:  scale,
+		Sizes:  compose.Sizes(),
+		tflex:  map[string]map[int]RunResult{},
+		tripsR: map[string]RunResult{},
+		core2:  map[string]conv.Result{},
+		zeroHS: map[string]RunResult{},
+	}
+}
+
+func collect(chip *sim.Chip, proc *sim.Proc, cores, fpus int) RunResult {
+	st := proc.Stats
+	pc := power.Counters{
+		Cycles: st.Cycles,
+		Cores:  cores,
+		FPUs:   fpus,
+
+		BlockFetches: st.BlocksFetched,
+		Predictions:  proc.Pred.Stats.Predictions,
+		IntOps:       st.InstsFired - st.FPFired,
+		FPOps:        st.FPFired,
+		RegReads:     st.RegReads,
+		RegWrites:    st.RegWrites,
+		L1DAccesses:  chip.L1DStats().Accesses,
+		LSQOps:       st.Loads + st.Stores,
+		RouterFlits:  chip.Opn.Stats().Hops + chip.Ctl.Stats().Hops,
+		L2Accesses:   chip.L2.Stats.Accesses,
+		DRAMAccesses: chip.DRAM.Stats.Requests,
+	}
+	return RunResult{Cycles: st.Cycles, Stats: st, Counters: pc}
+}
+
+// runInstance executes one kernel instance on a chip/processor pair and
+// validates the outputs against the reference.
+func runInstance(inst *kernels.Instance, chip *sim.Chip, procCores compose.Processor, fpus int) (RunResult, error) {
+	proc, err := chip.AddProc(procCores, inst.Prog)
+	if err != nil {
+		return RunResult{}, err
+	}
+	inst.Init(&proc.Regs, proc.Mem)
+	if err := chip.Run(MaxCycles); err != nil {
+		return RunResult{}, err
+	}
+	if err := inst.Check(&proc.Regs, proc.Mem); err != nil {
+		return RunResult{}, fmt.Errorf("output validation: %w", err)
+	}
+	return collect(chip, proc, procCores.N(), fpus), nil
+}
+
+// TFlexRun returns (cached) the kernel's run on an n-core composition.
+func (s *Suite) TFlexRun(name string, n int) (RunResult, error) {
+	if m, ok := s.tflex[name]; ok {
+		if r, ok := m[n]; ok {
+			return r, nil
+		}
+	}
+	k, ok := kernels.ByName(name)
+	if !ok {
+		return RunResult{}, fmt.Errorf("unknown kernel %q", name)
+	}
+	inst, err := k.Build(s.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	chip := sim.New(sim.DefaultOptions())
+	r, err := runInstance(inst, chip, compose.MustRect(0, 0, n), n)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%s on %d cores: %w", name, n, err)
+	}
+	if s.tflex[name] == nil {
+		s.tflex[name] = map[int]RunResult{}
+	}
+	s.tflex[name][n] = r
+	return r, nil
+}
+
+// TRIPSRun returns (cached) the kernel's run on the TRIPS baseline.
+func (s *Suite) TRIPSRun(name string) (RunResult, error) {
+	if r, ok := s.tripsR[name]; ok {
+		return r, nil
+	}
+	k, ok := kernels.ByName(name)
+	if !ok {
+		return RunResult{}, fmt.Errorf("unknown kernel %q", name)
+	}
+	inst, err := k.Build(s.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	chip := trips.NewChip()
+	r, err := runInstance(inst, chip, trips.Processor(), trips.NumTiles)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%s on TRIPS: %w", name, err)
+	}
+	// Clock-tree power scales with latch counts (paper §6.3): the TRIPS
+	// processor's tiles carry roughly the latch count of 8 TFlex cores,
+	// plus one FPU per execution tile (twice the FPUs of an equal-width
+	// TFlex composition — the paper's idle-FPU asymmetry).
+	r.Counters.Cores = 8
+	r.Counters.FPUs = trips.NumTiles
+	s.tripsR[name] = r
+	return r, nil
+}
+
+// Core2Run returns (cached) the kernel's run on the conventional
+// superscalar model, via the linearized functional trace.
+func (s *Suite) Core2Run(name string) (conv.Result, error) {
+	if r, ok := s.core2[name]; ok {
+		return r, nil
+	}
+	k, ok := kernels.ByName(name)
+	if !ok {
+		return conv.Result{}, fmt.Errorf("unknown kernel %q", name)
+	}
+	inst, err := k.Build(s.Scale)
+	if err != nil {
+		return conv.Result{}, err
+	}
+	m := exec.NewMachine(inst.Prog)
+	m.Trace = &exec.Trace{}
+	inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+	if _, err := m.Run(50_000_000); err != nil {
+		return conv.Result{}, err
+	}
+	if err := inst.Check(&m.Regs, m.Mem.(*exec.PageMem)); err != nil {
+		return conv.Result{}, err
+	}
+	r := conv.Run(m.Trace.Entries, conv.DefaultConfig())
+	s.core2[name] = r
+	return r, nil
+}
+
+// ZeroHandshakeRun returns the kernel's 32-core run with instantaneous
+// distributed handshakes (§6.4).
+func (s *Suite) ZeroHandshakeRun(name string) (RunResult, error) {
+	if r, ok := s.zeroHS[name]; ok {
+		return r, nil
+	}
+	k, ok := kernels.ByName(name)
+	if !ok {
+		return RunResult{}, fmt.Errorf("unknown kernel %q", name)
+	}
+	inst, err := k.Build(s.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	opts := sim.DefaultOptions()
+	opts.ZeroHandshake = true
+	chip := sim.New(opts)
+	r, err := runInstance(inst, chip, compose.MustRect(0, 0, 32), 32)
+	if err != nil {
+		return RunResult{}, err
+	}
+	s.zeroHS[name] = r
+	return r, nil
+}
+
+// Speedups returns the kernel's cores→speedup curve relative to one core.
+func (s *Suite) Speedups(name string) (map[int]float64, error) {
+	base, err := s.TFlexRun(name, 1)
+	if err != nil {
+		return nil, err
+	}
+	curve := map[int]float64{}
+	for _, n := range s.Sizes {
+		r, err := s.TFlexRun(name, n)
+		if err != nil {
+			return nil, err
+		}
+		curve[n] = float64(base.Cycles) / float64(r.Cycles)
+	}
+	return curve, nil
+}
+
+// Power evaluates the power model over a run.
+func Power(r RunResult) power.Breakdown {
+	return power.Default().Breakdown(r.Counters)
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's qualitative shapes, not its
+// absolute numbers: who wins, roughly by how much, and where the optima
+// fall.  They run at scale 1 to stay fast.
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	return NewSuite(1)
+}
+
+func TestTable1Prints(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"8KB", "128-entry window", "44-entry LSQ", "4MB S-NUCA", "150-cycle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d, out, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Speedup) != 26 {
+		t.Fatalf("%d kernels", len(d.Speedup))
+	}
+	// Composition helps on average: some multi-core size beats 1 core.
+	if d.AvgBySize[d.BestFixedSize] <= 1.05 {
+		t.Fatalf("best fixed avg %.3f: composition should help", d.AvgBySize[d.BestFixedSize])
+	}
+	if d.BestFixedSize < 4 {
+		t.Fatalf("best fixed composition %d: paper has 8-16", d.BestFixedSize)
+	}
+	// BEST (per-app) beats any fixed composition.
+	if d.AvgBest < d.AvgBySize[d.BestFixedSize] {
+		t.Fatal("per-app best must be >= best fixed")
+	}
+	// The flexible BEST configuration outperforms TRIPS (paper: +42%).
+	if d.AvgBest <= d.AvgTRIPS {
+		t.Fatalf("BEST %.3f should beat TRIPS %.3f", d.AvgBest, d.AvgTRIPS)
+	}
+	// High-ILP kernels scale further than low-ILP ones.
+	if d.BestSize["conv"] < d.BestSize["mcf"] {
+		t.Errorf("conv best %d cores < mcf best %d cores", d.BestSize["conv"], d.BestSize["mcf"])
+	}
+	if !strings.Contains(out, "TRIPS") {
+		t.Error("output missing TRIPS row")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d, _, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's split: TRIPS wins big on hand-optimized code and loses
+	// on compiled SPEC-INT-style code.
+	if d.SuiteGeo["hand"] <= d.SuiteGeo["specint"] {
+		t.Fatalf("hand %.3f should exceed specint %.3f", d.SuiteGeo["hand"], d.SuiteGeo["specint"])
+	}
+	if d.SuiteGeo["hand"] < 1.0 {
+		t.Fatalf("TRIPS should beat the conventional core on hand-optimized code: %.3f", d.SuiteGeo["hand"])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d, out, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant portion: 7 cycles when speculating, 4 at one core.
+	if f := d.Fetch[1]; f[0] != 4 {
+		t.Errorf("1-core constant fetch = %v", f[0])
+	}
+	if f := d.Fetch[16]; f[0] != 7 {
+		t.Errorf("16-core constant fetch = %v", f[0])
+	}
+	// Fetch distribution grows with cores; dispatch shrinks.
+	if d.Fetch[32][2] <= d.Fetch[2][2] {
+		t.Errorf("fetch distribution should grow: %v vs %v", d.Fetch[32][2], d.Fetch[2][2])
+	}
+	if d.Fetch[32][3] >= d.Fetch[1][3] {
+		t.Errorf("dispatch should shrink: %v vs %v", d.Fetch[32][3], d.Fetch[1][3])
+	}
+	// Commit handshake grows with cores.
+	if d.Commit[32][1] <= d.Commit[2][1] {
+		t.Errorf("commit handshake should grow: %v vs %v", d.Commit[32][1], d.Commit[2][1])
+	}
+	if !strings.Contains(out, "hand-off") {
+		t.Error("output missing components")
+	}
+}
+
+func TestHandshakeAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d, _, err := s.Handshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AvgGain < 0.99 {
+		t.Fatalf("zero handshake should not hurt: %.3f", d.AvgGain)
+	}
+	// The paper reports < 2% on near-128-instruction hyperblocks.  Our
+	// kernels use smaller blocks, so the serial prediction hand-off chain
+	// shows through more; the reconstruction bounds it at 25% and
+	// EXPERIMENTS.md documents the deviation.
+	if d.AvgGain > 1.25 {
+		t.Fatalf("handshake overhead %.1f%% is far above expectations", 100*(d.AvgGain-1))
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d, out, err := s.Fig10(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TFlex's optimal asymmetric allocation beats every fixed CMP and the
+	// symmetric variable-best CMP.
+	if d.AvgTFlex < d.BestCMPAvg {
+		t.Fatalf("TFlex %.3f < best fixed CMP %.3f", d.AvgTFlex, d.BestCMPAvg)
+	}
+	if d.AvgTFlex < d.AvgVB {
+		t.Fatalf("TFlex %.3f < VB CMP %.3f", d.AvgTFlex, d.AvgVB)
+	}
+	// Larger workloads get more weighted speedup on TFlex.
+	if d.TFlexWS[16] <= d.TFlexWS[2] {
+		t.Fatal("16-thread WS should exceed 2-thread WS")
+	}
+	// Allocation granularities vary within a workload size.
+	varied := false
+	for _, fr := range d.Fractions {
+		if len(fr) > 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("expected mixed granularities in at least one workload size")
+	}
+	if !strings.Contains(out, "CMP-4") {
+		t.Error("output missing CMP columns")
+	}
+}
+
+func TestTable2Prints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	out, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TFlex core total", "TRIPS processor total", "clock tree", "leakage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestFig7And8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d7, _, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area efficiency peaks at small compositions (paper: 1-2 cores).
+	best := 1
+	bestV := 0.0
+	for n, v := range d7.AvgBySize {
+		if v > bestV {
+			best, bestV = n, v
+		}
+	}
+	if best > 4 {
+		t.Errorf("perf/area peaks at %d cores; paper peaks at 1-2", best)
+	}
+
+	d8, _, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power efficiency peaks at an intermediate composition and per-app
+	// BEST beats any fixed point.
+	if d8.BestFixed < 2 || d8.BestFixed > 16 {
+		t.Errorf("perf²/W peaks at %d cores; paper peaks at 8", d8.BestFixed)
+	}
+	if d8.AvgBest < d8.AvgBySize[d8.BestFixed] {
+		t.Error("per-app best must be >= best fixed")
+	}
+	// TFlex-8 is more power-efficient than TRIPS (paper: ~64%).
+	if d8.AvgBySize[8] <= d8.AvgTRIPS {
+		t.Errorf("TFlex-8 (%.3f) should beat TRIPS (%.3f) in perf²/W", d8.AvgBySize[8], d8.AvgTRIPS)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	s := suite(t)
+	d, out, err := s.Ablations(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each paper-motivated optimization should help (its removal should
+	// not speed things up materially).
+	for _, name := range []string{"operand-bw-1x", "single-issue", "central-predictor"} {
+		if d.Relative[name] > 1.02 {
+			t.Errorf("%s should not beat the default: %.3f", name, d.Relative[name])
+		}
+	}
+	// Single issue must hurt clearly.
+	if d.Relative["single-issue"] > 0.98 {
+		t.Errorf("single-issue barely hurts: %.3f", d.Relative["single-issue"])
+	}
+	// The NACK mechanism should be close to worst-case-sized LSQs: the
+	// paper's argument is that small banks plus NACK lose little.
+	if d.Relative["worst-case-lsq"] < 0.85 {
+		t.Errorf("44-entry NACK LSQs lose %.1f%% vs worst-case sizing", 100*(1-d.Relative["worst-case-lsq"]))
+	}
+	if !strings.Contains(out, "ablation") {
+		t.Error("missing table")
+	}
+}

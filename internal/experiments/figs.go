@@ -1,0 +1,559 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/clp-sim/tflex/internal/alloc"
+	"github.com/clp-sim/tflex/internal/area"
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/kernels"
+	"github.com/clp-sim/tflex/internal/stats"
+)
+
+// Table1 prints the single-core TFlex configuration.
+func Table1() string {
+	p := compose.DefaultCoreParams()
+	t := stats.NewTable("parameter", "configuration")
+	t.Row("I-cache", fmt.Sprintf("%dKB partitioned, %d-cycle hit", p.L1IBytes>>10, p.L1IHitCycles))
+	t.Row("predictor", fmt.Sprintf("local/gshare tournament, %d-cycle, local %d+%d global %d choice %d",
+		p.PredictorLat, p.LocalL1Entries, p.LocalL2Entries, p.GlobalEntries, p.ChoiceEntries))
+	t.Row("target tables", fmt.Sprintf("RAS %d, CTB %d, BTB %d, Btype %d",
+		p.RASEntries, p.CTBEntries, p.BTBEntries, p.BtypeEntries))
+	t.Row("execution", fmt.Sprintf("OoO, %d-entry window, dual issue (%d int + %d FP)",
+		p.WindowEntries, p.IssueTotal, p.IssueFP))
+	t.Row("D-cache", fmt.Sprintf("%dKB, %d-way, %d-cycle hit, %d-entry LSQ bank",
+		p.L1DBytes>>10, p.L1DAssoc, p.L1DHitCycles, p.LSQEntries))
+	t.Row("L2", fmt.Sprintf("%dMB S-NUCA, %d-way, %d-%d cycle hits", p.L2Bytes>>20, p.L2Assoc, p.L2HitMin, p.L2HitMax))
+	t.Row("memory", fmt.Sprintf("%d-cycle unloaded DRAM", p.DRAMCycles))
+	return t.String()
+}
+
+// Fig5Data holds the TRIPS-vs-conventional comparison.
+type Fig5Data struct {
+	Relative map[string]float64 // per kernel: conventional cycles / TRIPS cycles
+	SuiteGeo map[string]float64 // per suite geomean
+}
+
+// Fig5 runs the baseline-validation comparison.
+func (s *Suite) Fig5() (Fig5Data, string, error) {
+	d := Fig5Data{Relative: map[string]float64{}, SuiteGeo: map[string]float64{}}
+	t := stats.NewTable("benchmark", "suite", "core2-cycles", "trips-cycles", "trips/core2 perf")
+	suiteVals := map[string][]float64{}
+	for _, k := range kernels.All() {
+		c2, err := s.Core2Run(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		tr, err := s.TRIPSRun(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		rel := float64(c2.Cycles) / float64(tr.Cycles)
+		d.Relative[k.Name] = rel
+		suiteVals[k.Suite] = append(suiteVals[k.Suite], rel)
+		t.Row(k.Name, k.Suite, c2.Cycles, tr.Cycles, rel)
+	}
+	for suite, vals := range suiteVals {
+		d.SuiteGeo[suite] = stats.Geomean(vals)
+	}
+	out := t.String()
+	out += "\nsuite geomeans (TRIPS perf relative to conventional core):\n"
+	for _, suite := range []string{"hand", "eembc", "versa", "specint", "specfp"} {
+		out += fmt.Sprintf("  %-8s %.3f\n", suite, d.SuiteGeo[suite])
+	}
+	return d, out, nil
+}
+
+// Fig6Data holds the composition performance sweep.
+type Fig6Data struct {
+	Speedup  map[string]map[int]float64 // kernel -> cores -> speedup over 1 core
+	TRIPSRel map[string]float64         // kernel -> TRIPS speedup over 1-core TFlex
+	Best     map[string]float64
+	BestSize map[string]int
+
+	AvgBySize     map[int]float64 // geomean speedup per fixed size
+	AvgBest       float64
+	AvgTRIPS      float64
+	BestFixedSize int
+}
+
+// Fig6 runs the 26-kernel composition sweep plus the TRIPS baseline.
+func (s *Suite) Fig6() (Fig6Data, string, error) {
+	d := Fig6Data{
+		Speedup:   map[string]map[int]float64{},
+		TRIPSRel:  map[string]float64{},
+		Best:      map[string]float64{},
+		BestSize:  map[string]int{},
+		AvgBySize: map[int]float64{},
+	}
+	header := []string{"benchmark", "ilp"}
+	for _, n := range s.Sizes {
+		header = append(header, fmt.Sprintf("%dc", n))
+	}
+	header = append(header, "TRIPS", "BEST", "best-n")
+	t := stats.NewTable(header...)
+
+	bySize := map[int][]float64{}
+	var bests, tripsRels []float64
+	for _, k := range kernels.All() {
+		curve, err := s.Speedups(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		d.Speedup[k.Name] = curve
+		base, _ := s.TFlexRun(k.Name, 1)
+		tr, err := s.TRIPSRun(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		trel := float64(base.Cycles) / float64(tr.Cycles)
+		d.TRIPSRel[k.Name] = trel
+		best, bestN := 0.0, 1
+		row := []any{k.Name, ilpTag(k)}
+		for _, n := range s.Sizes {
+			sp := curve[n]
+			bySize[n] = append(bySize[n], sp)
+			if sp > best {
+				best, bestN = sp, n
+			}
+			row = append(row, sp)
+		}
+		d.Best[k.Name] = best
+		d.BestSize[k.Name] = bestN
+		bests = append(bests, best)
+		tripsRels = append(tripsRels, trel)
+		row = append(row, trel, best, bestN)
+		t.Row(row...)
+	}
+	bestAvg := 0.0
+	for _, n := range s.Sizes {
+		d.AvgBySize[n] = stats.Geomean(bySize[n])
+		if d.AvgBySize[n] > bestAvg {
+			bestAvg = d.AvgBySize[n]
+			d.BestFixedSize = n
+		}
+	}
+	d.AvgBest = stats.Geomean(bests)
+	d.AvgTRIPS = stats.Geomean(tripsRels)
+
+	out := t.String()
+	out += "\naverages (geomean speedup over 1-core TFlex):\n"
+	for _, n := range s.Sizes {
+		out += fmt.Sprintf("  %2d cores: %.3f\n", n, d.AvgBySize[n])
+	}
+	out += fmt.Sprintf("  TRIPS:    %.3f\n  BEST:     %.3f\n", d.AvgTRIPS, d.AvgBest)
+	out += fmt.Sprintf("  best fixed composition: %d cores\n", d.BestFixedSize)
+	out += fmt.Sprintf("  TFlex-8 vs TRIPS: %+.1f%%\n", 100*(d.AvgBySize[8]/d.AvgTRIPS-1))
+	out += fmt.Sprintf("  BEST vs TRIPS:    %+.1f%%\n", 100*(d.AvgBest/d.AvgTRIPS-1))
+	return d, out, nil
+}
+
+func ilpTag(k kernels.Kernel) string {
+	if k.HighILP {
+		return "high"
+	}
+	return "low"
+}
+
+// Table2 prints the area breakdown and the average power breakdown for
+// TRIPS and an 8-core TFlex processor.
+func (s *Suite) Table2() (string, error) {
+	at := stats.NewTable("component", "area (mm², 130nm)")
+	for _, c := range area.TFlexCore() {
+		at.Row("TFlex core: "+c.Name, c.MM2)
+	}
+	at.Row("TFlex core total", area.TFlexCoreArea())
+	at.Row("8-core TFlex processor", area.TFlexArea(8))
+	for _, c := range area.TRIPSProcessor() {
+		at.Row("TRIPS: "+c.Name, c.MM2)
+	}
+	at.Row("TRIPS processor total", area.TRIPSArea())
+
+	// Average power over the suite.
+	var tflexW, tripsW []float64
+	var tflexSum, tripsSum [8]float64
+	n := 0
+	for _, k := range kernels.All() {
+		r8, err := s.TFlexRun(k.Name, 8)
+		if err != nil {
+			return "", err
+		}
+		rt, err := s.TRIPSRun(k.Name)
+		if err != nil {
+			return "", err
+		}
+		b8 := Power(r8)
+		bt := Power(rt)
+		tflexW = append(tflexW, b8.Total())
+		tripsW = append(tripsW, bt.Total())
+		for i, v := range [8]float64{b8.Fetch, b8.Execution, b8.L1D, b8.Routers, b8.L2, b8.DRAMIO, b8.Clock, b8.Leakage} {
+			tflexSum[i] += v
+		}
+		for i, v := range [8]float64{bt.Fetch, bt.Execution, bt.L1D, bt.Routers, bt.L2, bt.DRAMIO, bt.Clock, bt.Leakage} {
+			tripsSum[i] += v
+		}
+		n++
+	}
+	names := []string{"fetch", "execution", "L1 D-cache", "routers", "L2", "DRAM/IO", "clock tree", "leakage"}
+	pt := stats.NewTable("category", "TFlex-8 (W)", "TRIPS (W)")
+	for i, name := range names {
+		pt.Row(name, tflexSum[i]/float64(n), tripsSum[i]/float64(n))
+	}
+	pt.Row("total", stats.Mean(tflexW), stats.Mean(tripsW))
+	return at.String() + "\naverage power across the suite:\n" + pt.String(), nil
+}
+
+// Fig7Data holds performance/area results.
+type Fig7Data struct {
+	PerKernel map[string]map[int]float64 // normalized to 1-core TFlex
+	AvgBySize map[int]float64
+	AvgTRIPS  float64
+	BestSizes map[string]int
+}
+
+// Fig7 computes performance per area: 1/(cycles x mm²).
+func (s *Suite) Fig7() (Fig7Data, string, error) {
+	d := Fig7Data{
+		PerKernel: map[string]map[int]float64{},
+		AvgBySize: map[int]float64{},
+		BestSizes: map[string]int{},
+	}
+	header := []string{"benchmark"}
+	for _, n := range s.Sizes {
+		header = append(header, fmt.Sprintf("%dc", n))
+	}
+	header = append(header, "TRIPS", "best-n")
+	t := stats.NewTable(header...)
+	bySize := map[int][]float64{}
+	var tripsVals []float64
+	for _, k := range kernels.All() {
+		base, err := s.TFlexRun(k.Name, 1)
+		if err != nil {
+			return d, "", err
+		}
+		norm := area.PerfPerArea(base.Cycles, area.TFlexArea(1))
+		m := map[int]float64{}
+		best, bestN := 0.0, 1
+		row := []any{k.Name}
+		for _, n := range s.Sizes {
+			r, err := s.TFlexRun(k.Name, n)
+			if err != nil {
+				return d, "", err
+			}
+			v := area.PerfPerArea(r.Cycles, area.TFlexArea(n)) / norm
+			m[n] = v
+			bySize[n] = append(bySize[n], v)
+			if v > best {
+				best, bestN = v, n
+			}
+			row = append(row, v)
+		}
+		tr, err := s.TRIPSRun(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		tv := area.PerfPerArea(tr.Cycles, area.TRIPSArea()) / norm
+		tripsVals = append(tripsVals, tv)
+		d.PerKernel[k.Name] = m
+		d.BestSizes[k.Name] = bestN
+		row = append(row, tv, bestN)
+		t.Row(row...)
+	}
+	for _, n := range s.Sizes {
+		d.AvgBySize[n] = stats.Geomean(bySize[n])
+	}
+	d.AvgTRIPS = stats.Geomean(tripsVals)
+	out := t.String()
+	out += "\ngeomean perf/area (normalized to 1-core TFlex):\n"
+	for _, n := range s.Sizes {
+		out += fmt.Sprintf("  %2d cores: %.3f\n", n, d.AvgBySize[n])
+	}
+	out += fmt.Sprintf("  TRIPS:    %.3f\n", d.AvgTRIPS)
+	return d, out, nil
+}
+
+// Fig8Data holds power-efficiency results.
+type Fig8Data struct {
+	PerKernel map[string]map[int]float64 // perf²/W normalized to 1-core
+	AvgBySize map[int]float64
+	AvgBest   float64
+	AvgTRIPS  float64
+	BestFixed int
+}
+
+// Fig8 computes perf²/Watt across compositions and TRIPS.
+func (s *Suite) Fig8() (Fig8Data, string, error) {
+	d := Fig8Data{PerKernel: map[string]map[int]float64{}, AvgBySize: map[int]float64{}}
+	header := []string{"benchmark"}
+	for _, n := range s.Sizes {
+		header = append(header, fmt.Sprintf("%dc", n))
+	}
+	header = append(header, "TRIPS", "best-n")
+	t := stats.NewTable(header...)
+	bySize := map[int][]float64{}
+	var bests, tripsVals []float64
+	for _, k := range kernels.All() {
+		base, err := s.TFlexRun(k.Name, 1)
+		if err != nil {
+			return d, "", err
+		}
+		normW := Power(base).Total()
+		norm := 1.0 / (float64(base.Cycles) * float64(base.Cycles) * normW)
+		m := map[int]float64{}
+		best, bestN := 0.0, 1
+		row := []any{k.Name}
+		for _, n := range s.Sizes {
+			r, err := s.TFlexRun(k.Name, n)
+			if err != nil {
+				return d, "", err
+			}
+			w := Power(r).Total()
+			v := 1.0 / (float64(r.Cycles) * float64(r.Cycles) * w) / norm
+			m[n] = v
+			bySize[n] = append(bySize[n], v)
+			if v > best {
+				best, bestN = v, n
+			}
+			row = append(row, v)
+		}
+		tr, err := s.TRIPSRun(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		tw := Power(tr).Total()
+		tv := 1.0 / (float64(tr.Cycles) * float64(tr.Cycles) * tw) / norm
+		tripsVals = append(tripsVals, tv)
+		bests = append(bests, best)
+		d.PerKernel[k.Name] = m
+		row = append(row, tv, bestN)
+		t.Row(row...)
+	}
+	bestAvg := 0.0
+	for _, n := range s.Sizes {
+		d.AvgBySize[n] = stats.Geomean(bySize[n])
+		if d.AvgBySize[n] > bestAvg {
+			bestAvg, d.BestFixed = d.AvgBySize[n], n
+		}
+	}
+	d.AvgBest = stats.Geomean(bests)
+	d.AvgTRIPS = stats.Geomean(tripsVals)
+	out := t.String()
+	out += "\ngeomean perf²/W (normalized to 1-core TFlex):\n"
+	for _, n := range s.Sizes {
+		out += fmt.Sprintf("  %2d cores: %.3f\n", n, d.AvgBySize[n])
+	}
+	out += fmt.Sprintf("  TRIPS:    %.3f\n  BEST:     %.3f\n", d.AvgTRIPS, d.AvgBest)
+	out += fmt.Sprintf("  best fixed composition: %d cores\n", d.BestFixed)
+	out += fmt.Sprintf("  per-app BEST vs best fixed: %+.1f%%\n", 100*(d.AvgBest/bestAvg-1))
+	if d.AvgTRIPS > 0 {
+		out += fmt.Sprintf("  TFlex-8 vs TRIPS: %+.1f%%\n", 100*(d.AvgBySize[8]/d.AvgTRIPS-1))
+	}
+	return d, out, nil
+}
+
+// Fig9Data holds the distributed fetch/commit latency decomposition.
+type Fig9Data struct {
+	Fetch  map[int][5]float64 // cores -> {const, handoff, bcast, dispatch, istall}
+	Commit map[int][2]float64 // cores -> {arch update, handshake}
+}
+
+// Fig9 decomposes the distributed protocol latencies per composition size.
+func (s *Suite) Fig9() (Fig9Data, string, error) {
+	d := Fig9Data{Fetch: map[int][5]float64{}, Commit: map[int][2]float64{}}
+	ft := stats.NewTable("cores", "constant", "hand-off", "fetch-dist", "dispatch", "i-stall", "total")
+	ct := stats.NewTable("cores", "arch-update", "handshake", "total")
+	for _, n := range s.Sizes {
+		var f [5]float64
+		var c [2]float64
+		cnt := 0.0
+		for _, k := range kernels.All() {
+			r, err := s.TFlexRun(k.Name, n)
+			if err != nil {
+				return d, "", err
+			}
+			a, b, bc, disp, ist := r.Stats.FetchLatency()
+			ar, hs := r.Stats.CommitLatency()
+			f[0] += a
+			f[1] += b
+			f[2] += bc
+			f[3] += disp
+			f[4] += ist
+			c[0] += ar
+			c[1] += hs
+			cnt++
+		}
+		for i := range f {
+			f[i] /= cnt
+		}
+		for i := range c {
+			c[i] /= cnt
+		}
+		d.Fetch[n] = f
+		d.Commit[n] = c
+		ft.Row(n, f[0], f[1], f[2], f[3], f[4], f[0]+f[1]+f[2]+f[3]+f[4])
+		ct.Row(n, c[0], c[1], c[0]+c[1])
+	}
+	out := "Figure 9a: distributed fetch latency components (cycles/block)\n" + ft.String()
+	out += "\nFigure 9b: distributed commit latency components (cycles/block)\n" + ct.String()
+	return d, out, nil
+}
+
+// HandshakeData holds the §6.4 instantaneous-handshake ablation.
+type HandshakeData struct {
+	AvgGain float64 // speedup of zero-handshake over normal at 32 cores
+	PerApp  map[string]float64
+}
+
+// Handshake runs the instantaneous-handshake ablation at 32 cores.
+func (s *Suite) Handshake() (HandshakeData, string, error) {
+	d := HandshakeData{PerApp: map[string]float64{}}
+	t := stats.NewTable("benchmark", "normal", "zero-handshake", "gain")
+	var gains []float64
+	for _, k := range kernels.All() {
+		normal, err := s.TFlexRun(k.Name, 32)
+		if err != nil {
+			return d, "", err
+		}
+		zero, err := s.ZeroHandshakeRun(k.Name)
+		if err != nil {
+			return d, "", err
+		}
+		g := float64(normal.Cycles) / float64(zero.Cycles)
+		d.PerApp[k.Name] = g
+		gains = append(gains, g)
+		t.Row(k.Name, normal.Cycles, zero.Cycles, g)
+	}
+	d.AvgGain = stats.Geomean(gains)
+	out := t.String()
+	out += fmt.Sprintf("\naverage speedup with instantaneous handshakes at 32 cores: %.3fx "+
+		"(paper: < 2%% — the block-structured ISA amortizes the protocols)\n", d.AvgGain)
+	return d, out, nil
+}
+
+// Fig10Data holds the multiprogrammed weighted-speedup comparison.
+type Fig10Data struct {
+	Sizes      []int
+	TFlexWS    map[int]float64 // workload size -> average WS
+	CMPWS      map[int]map[int]float64
+	VBWS       map[int]float64
+	AvgTFlex   float64
+	AvgVB      float64
+	BestCMPAvg float64
+	BestCMPK   int
+	MaxGain    float64                 // max TFlex gain over best fixed CMP
+	Fractions  map[int]map[int]float64 // workload size -> granularity -> fraction
+}
+
+// Fig10 evaluates multiprogrammed throughput: TFlex's optimal asymmetric
+// allocation vs fixed CMPs and the symmetric variable-best CMP, over
+// random workloads drawn from the 12 hand-optimized benchmarks.
+func (s *Suite) Fig10(workloadsPerSize int) (Fig10Data, string, error) {
+	hand := kernels.HandOptimized()
+	curves := map[string]alloc.Curve{}
+	for _, k := range hand {
+		c, err := s.Speedups(k.Name)
+		if err != nil {
+			return Fig10Data{}, "", err
+		}
+		curves[k.Name] = c
+	}
+	cmpKs := []int{1, 2, 4, 8, 16}
+	d := Fig10Data{
+		Sizes:     []int{2, 4, 6, 8, 12, 16},
+		TFlexWS:   map[int]float64{},
+		CMPWS:     map[int]map[int]float64{},
+		VBWS:      map[int]float64{},
+		Fractions: map[int]map[int]float64{},
+	}
+	header := []string{"threads", "TFlex"}
+	for _, k := range cmpKs {
+		header = append(header, fmt.Sprintf("CMP-%d", k))
+	}
+	header = append(header, "VB-CMP")
+	t := stats.NewTable(header...)
+
+	cmpSums := map[int]float64{}
+	var tflexSum, vbSum float64
+	var maxGain float64
+	seed := uint64(20070612)
+	lcg := func() uint64 { seed = seed*6364136223846793005 + 1442695040888963407; return seed >> 17 }
+
+	for _, size := range d.Sizes {
+		var tws, vws float64
+		cws := map[int]float64{}
+		fracs := map[int]float64{}
+		assignCount := 0
+		for w := 0; w < workloadsPerSize; w++ {
+			var wl []alloc.Curve
+			for a := 0; a < size; a++ {
+				wl = append(wl, curves[hand[int(lcg())%len(hand)].Name])
+			}
+			assign, ws := alloc.BestWS(wl, compose.NumCores)
+			tws += ws
+			for _, a := range assign {
+				fracs[a]++
+				assignCount++
+			}
+			for _, k := range cmpKs {
+				cws[k] += alloc.FixedWS(wl, k, compose.NumCores)
+			}
+			_, vb := alloc.VariableBestWS(wl, compose.NumCores, []int{1, 2, 4, 8, 16, 32})
+			vws += vb
+		}
+		n := float64(workloadsPerSize)
+		d.TFlexWS[size] = tws / n
+		d.VBWS[size] = vws / n
+		d.CMPWS[size] = map[int]float64{}
+		row := []any{size, tws / n}
+		for _, k := range cmpKs {
+			d.CMPWS[size][k] = cws[k] / n
+			row = append(row, cws[k]/n)
+			cmpSums[k] += cws[k] / n
+		}
+		row = append(row, vws/n)
+		t.Row(row...)
+		tflexSum += tws / n
+		vbSum += vws / n
+		bestFixed := 0.0
+		for _, k := range cmpKs {
+			if cws[k]/n > bestFixed {
+				bestFixed = cws[k] / n
+			}
+		}
+		if gain := (tws / n) / bestFixed; gain > maxGain {
+			maxGain = gain
+		}
+		d.Fractions[size] = map[int]float64{}
+		for g, c := range fracs {
+			d.Fractions[size][g] = c / float64(assignCount)
+		}
+	}
+	nSizes := float64(len(d.Sizes))
+	d.AvgTFlex = tflexSum / nSizes
+	d.AvgVB = vbSum / nSizes
+	for _, k := range cmpKs {
+		if cmpSums[k]/nSizes > d.BestCMPAvg {
+			d.BestCMPAvg = cmpSums[k] / nSizes
+			d.BestCMPK = k
+		}
+	}
+	d.MaxGain = maxGain
+
+	out := "Figure 10: average weighted speedup per workload size\n" + t.String()
+	out += fmt.Sprintf("\nAVG: TFlex %.3f, best fixed CMP-%d %.3f (TFlex %+.1f%%, max %+.1f%%), VB-CMP %.3f (TFlex %+.1f%%)\n",
+		d.AvgTFlex, d.BestCMPK, d.BestCMPAvg,
+		100*(d.AvgTFlex/d.BestCMPAvg-1), 100*(maxGain-1),
+		d.AvgVB, 100*(d.AvgTFlex/d.AvgVB-1))
+	out += "\nallocation fractions (workload size -> granularity -> fraction of apps):\n"
+	for _, size := range d.Sizes {
+		var parts []string
+		for _, g := range []int{1, 2, 4, 8, 16, 32} {
+			if f := d.Fractions[size][g]; f > 0 {
+				parts = append(parts, fmt.Sprintf("%dc:%.0f%%", g, 100*f))
+			}
+		}
+		out += fmt.Sprintf("  %2d threads: %s\n", size, strings.Join(parts, " "))
+	}
+	return d, out, nil
+}

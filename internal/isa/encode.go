@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary block format.  Each block encodes to a self-describing byte
+// stream: a fixed header, the read/write slots, then one 16-byte word per
+// instruction.  The format exists so the instruction caches hold real bytes
+// and so programs can be serialized; it round-trips exactly.
+//
+// Instruction word layout (little endian):
+//
+//	byte 0      opcode
+//	byte 1      pred(2) | hasImm(1) | memSigned(1) | exit(3) | ntargets-hi(1)
+//	byte 2      lsid (int8)
+//	byte 3      nullLSID (int8)
+//	byte 4      memSize
+//	byte 5      ntargets-lo
+//	bytes 6-7   target[0] (9-bit encoding)
+//	bytes 8-9   target[1]
+//	bytes 10-11 branch label index (or 0xffff)
+//	bytes 12-15 reserved
+//	+ int64 immediate if hasImm or OpGenC
+//
+// Branch labels are carried in a string table at the end of the block.
+
+const blockMagic = uint32(0xed6eb10c)
+
+// EncodeBlock serializes a block (addresses are not included; layout
+// assigns them).
+func EncodeBlock(b *Block) []byte {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	var labels []string
+	labelIdx := map[string]uint16{}
+	labelOf := func(s string) uint16 {
+		if s == "" {
+			return 0xffff
+		}
+		if i, ok := labelIdx[s]; ok {
+			return i
+		}
+		i := uint16(len(labels))
+		labels = append(labels, s)
+		labelIdx[s] = i
+		return i
+	}
+
+	writeU32 := func(v uint32) { _ = binary.Write(&buf, le, v) }
+	writeU16 := func(v uint16) { _ = binary.Write(&buf, le, v) }
+
+	writeU32(blockMagic)
+	name := []byte(b.Name)
+	writeU16(uint16(len(name)))
+	buf.Write(name)
+	buf.WriteByte(uint8(len(b.Reads)))
+	buf.WriteByte(uint8(len(b.Writes)))
+	buf.WriteByte(uint8(b.NumStores))
+	buf.WriteByte(uint8(len(b.Insts)))
+
+	for _, r := range b.Reads {
+		buf.WriteByte(r.Reg)
+		buf.WriteByte(uint8(len(r.Targets)))
+		for _, t := range r.Targets {
+			writeU16(t.Encode())
+		}
+	}
+	for _, w := range b.Writes {
+		buf.WriteByte(w.Reg)
+	}
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		var w [16]byte
+		w[0] = uint8(in.Op)
+		flags := uint8(in.Pred) & 0x3
+		if in.HasImm {
+			flags |= 1 << 2
+		}
+		if in.MemSigned {
+			flags |= 1 << 3
+		}
+		flags |= (in.Exit & 0x7) << 4
+		w[1] = flags
+		w[2] = uint8(in.LSID)
+		w[3] = uint8(in.NullLSID)
+		w[4] = in.MemSize
+		w[5] = uint8(len(in.Targets))
+		for j, t := range in.Targets {
+			le.PutUint16(w[6+2*j:], t.Encode())
+		}
+		le.PutUint16(w[10:], labelOf(in.BranchTo))
+		buf.Write(w[:])
+		if in.HasImm || in.Op == OpGenC {
+			_ = binary.Write(&buf, le, in.Imm)
+		}
+	}
+	writeU16(uint16(len(labels)))
+	for _, l := range labels {
+		writeU16(uint16(len(l)))
+		buf.WriteString(l)
+	}
+	return buf.Bytes()
+}
+
+// DecodeBlock parses a block serialized by EncodeBlock.
+func DecodeBlock(data []byte) (*Block, error) {
+	le := binary.LittleEndian
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, le, &magic); err != nil || magic != blockMagic {
+		return nil, fmt.Errorf("isa: bad block magic")
+	}
+	readU16 := func() (uint16, error) {
+		var v uint16
+		err := binary.Read(r, le, &v)
+		return v, err
+	}
+	nameLen, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := r.Read(name); err != nil {
+		return nil, err
+	}
+	var counts [4]byte
+	if _, err := r.Read(counts[:]); err != nil {
+		return nil, err
+	}
+	b := &Block{Name: string(name), NumStores: int(counts[2])}
+	b.Reads = make([]ReadSlot, counts[0])
+	b.Writes = make([]WriteSlot, counts[1])
+	b.Insts = make([]Inst, counts[3])
+
+	for i := range b.Reads {
+		reg, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		nt, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		b.Reads[i].Reg = reg
+		for j := 0; j < int(nt); j++ {
+			bits, err := readU16()
+			if err != nil {
+				return nil, err
+			}
+			b.Reads[i].Targets = append(b.Reads[i].Targets, DecodeTarget(bits))
+		}
+	}
+	for i := range b.Writes {
+		reg, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		b.Writes[i].Reg = reg
+	}
+	type labelFix struct {
+		inst int
+		idx  uint16
+	}
+	var fixes []labelFix
+	for i := range b.Insts {
+		var w [16]byte
+		if _, err := r.Read(w[:]); err != nil {
+			return nil, err
+		}
+		in := &b.Insts[i]
+		in.Op = Opcode(w[0])
+		in.Pred = PredKind(w[1] & 0x3)
+		in.HasImm = w[1]&(1<<2) != 0
+		in.MemSigned = w[1]&(1<<3) != 0
+		in.Exit = (w[1] >> 4) & 0x7
+		in.LSID = int8(w[2])
+		in.NullLSID = int8(w[3])
+		in.MemSize = w[4]
+		nt := int(w[5])
+		for j := 0; j < nt; j++ {
+			in.Targets = append(in.Targets, DecodeTarget(le.Uint16(w[6+2*j:])))
+		}
+		if idx := le.Uint16(w[10:]); idx != 0xffff {
+			fixes = append(fixes, labelFix{i, idx})
+		}
+		if in.HasImm || in.Op == OpGenC {
+			if err := binary.Read(r, le, &in.Imm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nLabels, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, nLabels)
+	for i := range labels {
+		n, err := readU16()
+		if err != nil {
+			return nil, err
+		}
+		s := make([]byte, n)
+		if _, err := r.Read(s); err != nil {
+			return nil, err
+		}
+		labels[i] = string(s)
+	}
+	for _, f := range fixes {
+		if int(f.idx) >= len(labels) {
+			return nil, fmt.Errorf("isa: label index %d out of range", f.idx)
+		}
+		b.Insts[f.inst].BranchTo = labels[f.idx]
+	}
+	return b, nil
+}

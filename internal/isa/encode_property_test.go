@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomBlock builds a structurally arbitrary (not necessarily valid)
+// block for encode/decode round-trip checks: the wire format must
+// preserve every field bit-for-bit regardless of semantic validity.
+func randomBlock(r *rand.Rand) *Block {
+	b := &Block{
+		Name:      randName(r),
+		NumStores: r.Intn(MaxMemOps + 1),
+	}
+	nInsts := 1 + r.Intn(40)
+	for i := 0; i < r.Intn(8); i++ {
+		rd := ReadSlot{Reg: uint8(r.Intn(NumRegs))}
+		for t := 0; t < r.Intn(3); t++ {
+			rd.Targets = append(rd.Targets, randTarget(r, nInsts))
+		}
+		b.Reads = append(b.Reads, rd)
+	}
+	for i := 0; i < r.Intn(8); i++ {
+		b.Writes = append(b.Writes, WriteSlot{Reg: uint8(r.Intn(NumRegs))})
+	}
+	for i := 0; i < nInsts; i++ {
+		in := Inst{
+			Op:       Opcode(r.Intn(NumOpcodes)),
+			Pred:     PredKind(r.Intn(3)),
+			LSID:     int8(r.Intn(MaxMemOps)),
+			NullLSID: int8(r.Intn(MaxMemOps)) - 1,
+			MemSize:  uint8(1 << r.Intn(4)),
+			Exit:     uint8(r.Intn(NumExits)),
+		}
+		if r.Intn(2) == 0 {
+			in.HasImm = true
+			in.Imm = int64(r.Uint64())
+		}
+		if r.Intn(2) == 0 {
+			in.MemSigned = true
+		}
+		if r.Intn(3) == 0 {
+			in.BranchTo = randName(r)
+		}
+		for t := 0; t < r.Intn(MaxTargets+1); t++ {
+			in.Targets = append(in.Targets, randTarget(r, nInsts))
+		}
+		b.Insts = append(b.Insts, in)
+	}
+	return b
+}
+
+func randName(r *rand.Rand) string {
+	letters := "abcdefgh_XYZ0123"
+	n := 1 + r.Intn(12)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[r.Intn(len(letters))]
+	}
+	return string(out)
+}
+
+func randTarget(r *rand.Rand, nInsts int) Target {
+	return Target{Kind: TargetKind(r.Intn(4)), Index: uint8(r.Intn(128))}
+}
+
+func blocksEqual(a, b *Block) bool {
+	if a.Name != b.Name || a.NumStores != b.NumStores {
+		return false
+	}
+	if len(a.Reads) != len(b.Reads) || len(a.Writes) != len(b.Writes) || len(a.Insts) != len(b.Insts) {
+		return false
+	}
+	for i := range a.Reads {
+		if a.Reads[i].Reg != b.Reads[i].Reg || !targetsEqual(a.Reads[i].Targets, b.Reads[i].Targets) {
+			return false
+		}
+	}
+	for i := range a.Writes {
+		if a.Writes[i] != b.Writes[i] {
+			return false
+		}
+	}
+	for i := range a.Insts {
+		x, y := a.Insts[i], b.Insts[i]
+		tx, ty := x.Targets, y.Targets
+		x.Targets, y.Targets = nil, nil
+		if !reflect.DeepEqual(x, y) || !targetsEqual(tx, ty) {
+			return false
+		}
+	}
+	return true
+}
+
+func targetsEqual(a, b []Target) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodePropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomBlock(r)
+		got, err := DecodeBlock(EncodeBlock(b))
+		if err != nil {
+			t.Logf("seed %d: decode error %v", seed, err)
+			return false
+		}
+		if !blocksEqual(b, got) {
+			t.Logf("seed %d: mismatch", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeSizeReasonable(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		b := randomBlock(r)
+		enc := EncodeBlock(b)
+		// 16 bytes/inst + 8/immediate + header/labels: generous bound.
+		if len(enc) > 32*len(b.Insts)+64*len(b.Reads)+1024 {
+			t.Fatalf("encoding unexpectedly large: %d bytes for %d insts", len(enc), len(b.Insts))
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package isa defines the EDGE (Explicit Data Graph Execution) instruction
+// set used by the TFlex composable-lightweight-processor simulator.
+//
+// Programs are sequences of blocks with atomic execution semantics, modeled
+// on the TRIPS ISA: a block holds up to 128 instructions, up to 32 register
+// reads, up to 32 register writes and up to 32 memory operations.  Each
+// instruction explicitly encodes the consumers of its result as target
+// fields, so no operand broadcast is required; a point-to-point network can
+// interpret target identifiers as coordinates of instruction placement.
+package isa
+
+import "fmt"
+
+// Opcode identifies an EDGE operation.
+type Opcode uint8
+
+// Integer, floating-point, memory and control opcodes.  Floating-point
+// values travel through the dataflow graph as IEEE-754 bit patterns in
+// uint64 operands.
+const (
+	OpNop Opcode = iota
+
+	// Integer arithmetic and logic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv  // signed
+	OpDivU // unsigned
+	OpMod  // signed remainder
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical right shift
+	OpSra // arithmetic right shift
+
+	// Comparisons produce 1 or 0 and typically feed predicate slots.
+	OpEq
+	OpNe
+	OpLt  // signed
+	OpLe  // signed
+	OpLtU // unsigned
+	OpLeU // unsigned
+
+	// Data movement.
+	OpMov  // single-operand forward; used for fan-out trees
+	OpGenC // generate constant: produces the immediate
+
+	// Floating point (operands are float64 bit patterns).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFSqrt
+	OpFEq
+	OpFLt
+	OpFLe
+	OpIToF // signed int64 -> float64
+	OpFToI // float64 -> int64 (truncating)
+
+	// Memory.  Loads take an address operand plus an immediate offset;
+	// stores take address and value operands plus an immediate offset.
+	// Every memory instruction carries an LSID giving its program order
+	// within the block.
+	OpLoad
+	OpStore
+	// OpNull signals a nullified output: a predicated-off store slot
+	// (by LSID) or register write completes without architectural effect.
+	OpNull
+
+	// Control.  Exactly one branch fires per block.  Each branch carries a
+	// 3-bit exit number used to form predictor histories.
+	OpBro   // branch to a labeled block
+	OpCallo // call a labeled block (predictor pushes return on RAS)
+	OpRet   // return: target address comes from the operand
+	OpHalt  // terminate the program
+
+	numOpcodes
+)
+
+// NumOpcodes reports how many opcodes are defined (for table sizing).
+const NumOpcodes = int(numOpcodes)
+
+var opcodeNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpDivU: "divu", OpMod: "mod", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSra: "sra",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpLtU: "ltu", OpLeU: "leu",
+	OpMov: "mov", OpGenC: "genc",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFSqrt: "fsqrt", OpFEq: "feq", OpFLt: "flt", OpFLe: "fle",
+	OpIToF: "itof", OpFToI: "ftoi",
+	OpLoad: "ld", OpStore: "st", OpNull: "null",
+	OpBro: "bro", OpCallo: "callo", OpRet: "ret", OpHalt: "halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumOperands reports how many dataflow operands the opcode consumes,
+// not counting an optional predicate operand.
+func (o Opcode) NumOperands() int {
+	switch o {
+	case OpNop, OpGenC, OpNull, OpBro, OpCallo, OpHalt:
+		return 0
+	case OpMov, OpFSqrt, OpIToF, OpFToI, OpLoad, OpRet:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsFP reports whether the opcode executes on the floating-point unit.
+func (o Opcode) IsFP() bool {
+	switch o {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFSqrt, OpFEq, OpFLt, OpFLe, OpIToF, OpFToI:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode accesses memory (has an LSID).
+func (o Opcode) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsBranch reports whether the opcode ends a block by choosing the next one.
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case OpBro, OpCallo, OpRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+// BranchType classifies branches for the Btype/target predictors.
+type BranchType uint8
+
+const (
+	BranchNone BranchType = iota
+	BranchRegular
+	BranchCall
+	BranchReturn
+	BranchHalt
+)
+
+func (b BranchType) String() string {
+	switch b {
+	case BranchRegular:
+		return "branch"
+	case BranchCall:
+		return "call"
+	case BranchReturn:
+		return "return"
+	case BranchHalt:
+		return "halt"
+	}
+	return "none"
+}
+
+// Type reports the branch class of the opcode (BranchNone for non-branches).
+func (o Opcode) Type() BranchType {
+	switch o {
+	case OpBro:
+		return BranchRegular
+	case OpCallo:
+		return BranchCall
+	case OpRet:
+		return BranchReturn
+	case OpHalt:
+		return BranchHalt
+	}
+	return BranchNone
+}

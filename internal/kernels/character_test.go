@@ -1,0 +1,160 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// Characterization tests: the suite must have the structural properties
+// the paper's evaluation depends on — hand-optimized code in large
+// hyperblocks, SPEC-style code in small branchy blocks, and a low/high
+// ILP split that actually shows up in the dynamic instruction mix.
+
+func TestHandOptimizedBlocksAreLarger(t *testing.T) {
+	avgBlock := func(suite string) float64 {
+		var sum, n float64
+		for _, k := range All() {
+			if k.Suite != suite {
+				continue
+			}
+			inst, err := k.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := inst.Prog.StaticStats()
+			sum += st.AvgBlockSize
+			n++
+		}
+		return sum / n
+	}
+	hand := avgBlock("hand")
+	specint := avgBlock("specint")
+	if hand <= 1.5*specint {
+		t.Fatalf("hand-optimized blocks (%.1f insts) should dwarf SPEC-INT blocks (%.1f)", hand, specint)
+	}
+}
+
+func TestSuiteBranchRates(t *testing.T) {
+	// SPEC-INT-style kernels must execute far more branches per
+	// instruction than the hand-optimized kernels.
+	dynBranchRate := func(name string) float64 {
+		k, _ := ByName(name)
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := exec.NewMachine(inst.Prog)
+		inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+		st, err := m.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(st.Blocks) / float64(st.Useful)
+	}
+	if conv, bzip2 := dynBranchRate("conv"), dynBranchRate("bzip2"); bzip2 < 2*conv {
+		t.Fatalf("bzip2 branch rate %.3f should far exceed conv %.3f", bzip2, conv)
+	}
+}
+
+func TestMemoryBoundKernelMissesCaches(t *testing.T) {
+	// mcf's ring stride is built to escape an 8KB L1: footprint must
+	// exceed any single L1 by a wide margin.
+	k, _ := ByName("mcf")
+	inst, err := k.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exec.NewMachine(inst.Prog)
+	inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// 2048 nodes x 2KB stride = 4MB footprint.
+	if footprint := 2048 * 2048; footprint < 64*(8<<10) {
+		t.Fatalf("mcf footprint %d too small", footprint)
+	}
+}
+
+func TestAllKernelsWithinISALimits(t *testing.T) {
+	for _, k := range All() {
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, blk := range inst.Prog.Blocks {
+			if err := blk.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", k.Name, blk.Name, err)
+			}
+			if len(blk.Insts) > isa.MaxBlockInsts {
+				t.Fatalf("%s/%s: %d slots", k.Name, blk.Name, len(blk.Insts))
+			}
+		}
+	}
+}
+
+func TestFPKernelsUseFPUnits(t *testing.T) {
+	for _, name := range []string{"ammp", "applu", "art", "equake", "mesa", "swim", "ct", "basefp", "bezier"} {
+		k, ok := ByName(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := 0
+		for _, blk := range inst.Prog.Blocks {
+			for i := range blk.Insts {
+				if blk.Insts[i].Op.IsFP() {
+					fp++
+				}
+			}
+		}
+		if fp == 0 {
+			t.Errorf("%s: no FP instructions", name)
+		}
+		_ = k
+	}
+}
+
+func TestIntKernelsAvoidFPUnits(t *testing.T) {
+	for _, name := range []string{"conv", "bzip2", "mcf", "gzip", "parser", "vortex", "8b10b"} {
+		k, _ := ByName(name)
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, blk := range inst.Prog.Blocks {
+			for i := range blk.Insts {
+				if blk.Insts[i].Op.IsFP() {
+					t.Fatalf("%s: unexpected FP op in %s", name, blk.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	// Building and running a kernel twice must give identical dynamics.
+	k, _ := ByName("genalg")
+	run := func() (uint64, [4]uint64) {
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := exec.NewMachine(inst.Prog)
+		inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+		st, err := m.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Fired, [4]uint64{m.Regs[1], m.Regs[2], m.Regs[5], m.Regs[6]}
+	}
+	f1, r1 := run()
+	f2, r2 := run()
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("non-deterministic kernel: %d/%v vs %d/%v", f1, r1, f2, r2)
+	}
+}

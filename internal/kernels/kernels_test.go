@@ -1,0 +1,204 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/sim"
+)
+
+// TestKernelsFunctional runs every kernel on the architectural machine
+// and validates the outputs against the Go reference.
+func TestKernelsFunctional(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			inst, err := k.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := exec.NewMachine(inst.Prog)
+			inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+			st, err := m.Run(20_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Halted {
+				t.Fatal("did not halt")
+			}
+			if err := inst.Check(&m.Regs, m.Mem.(*exec.PageMem)); err != nil {
+				t.Fatal(err)
+			}
+			if st.Blocks < 20 {
+				t.Errorf("only %d dynamic blocks; kernel too small to measure", st.Blocks)
+			}
+		})
+	}
+}
+
+// TestKernelsOnSimulator runs every kernel through the timing simulator on
+// two compositions and revalidates outputs — the end-to-end equivalence
+// property.
+func TestKernelsOnSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing runs are slow")
+	}
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			for _, n := range []int{2, 8} {
+				inst, err := k.Build(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chip := sim.New(sim.DefaultOptions())
+				proc, err := chip.AddProc(compose.MustRect(0, 0, n), inst.Prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst.Init(&proc.Regs, proc.Mem)
+				if err := chip.Run(200_000_000); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if err := inst.Check(&proc.Regs, proc.Mem); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	counts := map[string]int{}
+	for _, k := range All() {
+		counts[k.Suite]++
+	}
+	want := map[string]int{"hand": 3, "eembc": 7, "versa": 2, "specint": 8, "specfp": 6}
+	for suite, n := range want {
+		if counts[suite] != n {
+			t.Errorf("suite %s has %d kernels, want %d", suite, counts[suite], n)
+		}
+	}
+	if len(All()) != 26 {
+		t.Errorf("total kernels = %d, want 26", len(All()))
+	}
+	if len(HandOptimized()) != 12 {
+		t.Errorf("hand-optimized set = %d, want 12", len(HandOptimized()))
+	}
+}
+
+func TestKernelsScale(t *testing.T) {
+	// Larger scale must run more blocks.
+	k, ok := ByName("conv")
+	if !ok {
+		t.Fatal("conv missing")
+	}
+	blocks := func(scale int) uint64 {
+		inst, err := k.Build(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := exec.NewMachine(inst.Prog)
+		inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+		st, err := m.Run(20_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Blocks
+	}
+	if b2 := blocks(2); b2 <= blocks(1) {
+		t.Fatalf("scale 2 ran %d blocks, not more than scale 1", b2)
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unexpected kernel")
+	}
+}
+
+// TestLivermoreExtras validates the LL kernels functionally and on the
+// simulator, and checks they stay out of the paper population.
+func TestLivermoreExtras(t *testing.T) {
+	extras := Extras()
+	if len(extras) != 6 {
+		t.Fatalf("%d extra kernels, want 6 Livermore loops", len(extras))
+	}
+	for _, k := range extras {
+		if k.Suite != "ll" || !k.Extra {
+			t.Fatalf("%s misregistered", k.Name)
+		}
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := exec.NewMachine(inst.Prog)
+		inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if err := inst.Check(&m.Regs, m.Mem.(*exec.PageMem)); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		// And on an 8-core composition.
+		inst2, err := k.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chip := sim.New(sim.DefaultOptions())
+		proc, err := chip.AddProc(compose.MustRect(0, 0, 8), inst2.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst2.Init(&proc.Regs, proc.Mem)
+		if err := chip.Run(200_000_000); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if err := inst2.Check(&proc.Regs, proc.Mem); err != nil {
+			t.Fatalf("%s on sim: %v", k.Name, err)
+		}
+	}
+	// Extras never appear in the paper population.
+	for _, k := range All() {
+		if k.Extra {
+			t.Fatalf("%s leaked into All()", k.Name)
+		}
+	}
+}
+
+// TestSerialVsParallelLLScaling: the serial prefix (LL11) must not scale
+// with composition while the parallel difference (LL12) must.
+func TestSerialVsParallelLLScaling(t *testing.T) {
+	speedup := func(name string) float64 {
+		var base uint64
+		var last uint64
+		for _, n := range []int{1, 16} {
+			k, _ := ByName(name)
+			inst, err := k.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chip := sim.New(sim.DefaultOptions())
+			proc, err := chip.AddProc(compose.MustRect(0, 0, n), inst.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst.Init(&proc.Regs, proc.Mem)
+			if err := chip.Run(200_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if n == 1 {
+				base = proc.Stats.Cycles
+			} else {
+				last = proc.Stats.Cycles
+			}
+		}
+		return float64(base) / float64(last)
+	}
+	serial := speedup("ll11_presum")
+	parallel := speedup("ll12_diff")
+	if parallel <= serial {
+		t.Fatalf("parallel LL12 (%.2fx) should outscale serial LL11 (%.2fx)", parallel, serial)
+	}
+}

@@ -1,0 +1,339 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(8<<10, 2, 64) // 8KB, 2-way, 64B lines: 64 sets
+	if c.SetCount != 64 {
+		t.Fatalf("sets = %d", c.SetCount)
+	}
+	if _, hit := c.Access(0x1000, 0); hit {
+		t.Fatal("cold cache should miss")
+	}
+	c.Fill(0x1000, 10)
+	l, hit := c.Access(0x1000, 20)
+	if !hit {
+		t.Fatal("expected hit after fill")
+	}
+	if l.FillAt != 10 {
+		t.Fatalf("FillAt = %d", l.FillAt)
+	}
+	// Same line, different offset.
+	if _, hit := c.Access(0x103f, 21); !hit {
+		t.Fatal("same line should hit")
+	}
+	// Different line, same set region.
+	if _, hit := c.Access(0x2000, 22); hit {
+		t.Fatal("different line should miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2*64, 2, 64) // one set, two ways
+	c.Fill(0*64, 0)
+	c.Fill(1*64, 0)
+	c.Access(0*64, 1) // make line 0 MRU
+	v, evicted := c.Fill(2*64, 2)
+	if !evicted {
+		t.Fatal("expected eviction")
+	}
+	if v.LineAddr != 1 {
+		t.Fatalf("victim line %d, want 1 (LRU)", v.LineAddr)
+	}
+	if _, hit := c.Access(0*64, 3); !hit {
+		t.Fatal("MRU line should survive")
+	}
+}
+
+func TestCacheDirtyEvictionCounted(t *testing.T) {
+	c := NewCache(64, 1, 64)
+	c.Fill(0, 0)
+	c.Probe(0).Dirty = true
+	_, _ = c.Fill(64, 1)
+	if c.Stats.DirtyEvicts != 1 {
+		t.Fatalf("dirty evicts = %d", c.Stats.DirtyEvicts)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(8<<10, 2, 64)
+	c.Fill(0x40, 0)
+	c.Probe(0x40).Dirty = true
+	found, dirty := c.Invalidate(0x40)
+	if !found || !dirty {
+		t.Fatalf("found=%v dirty=%v", found, dirty)
+	}
+	if _, hit := c.Access(0x40, 1); hit {
+		t.Fatal("invalidated line should miss")
+	}
+	if f, _ := c.Invalidate(0x9999); f {
+		t.Fatal("missing line should not be found")
+	}
+}
+
+func TestCacheFillMergesPendingFills(t *testing.T) {
+	c := NewCache(8<<10, 2, 64)
+	c.Fill(0x80, 100)
+	c.Fill(0x80, 50) // earlier fill time wins
+	if got := c.Probe(0x80).FillAt; got != 50 {
+		t.Fatalf("FillAt = %d", got)
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d", c.Occupancy())
+	}
+}
+
+func TestDRAMContention(t *testing.T) {
+	d := NewDRAM(150, 1, 4)
+	a := d.Access(0, 0)
+	b := d.Access(0, 0)
+	if a != 150 {
+		t.Fatalf("first access done at %d", a)
+	}
+	if b != 154 {
+		t.Fatalf("second access done at %d (channel busy)", b)
+	}
+	// Two channels: different addresses can proceed in parallel.
+	d2 := NewDRAM(150, 2, 4)
+	x := d2.Access(0, 0)
+	y := d2.Access(64, 0)
+	if x != 150 || y != 150 {
+		t.Fatalf("parallel channels: %d %d", x, y)
+	}
+}
+
+func TestL2ReadHitLatencyRange(t *testing.T) {
+	d := NewDRAM(150, 2, 4)
+	l2 := NewL2(4<<20, 8, 64, 32, 5, 27, d)
+	// Fill then read: hit latency must lie in [5, 27].
+	done := l2.Read(0, 0x10000, 0)
+	if done < 150 {
+		t.Fatalf("cold read should go to DRAM, done=%d", done)
+	}
+	done2 := l2.Read(0, 0x10000, done)
+	lat := done2 - done
+	if lat < 5 || lat > 27 {
+		t.Fatalf("hit latency %d outside [5,27]", lat)
+	}
+}
+
+func TestL2HitLatencyDependsOnDistance(t *testing.T) {
+	d := NewDRAM(150, 2, 4)
+	l2 := NewL2(4<<20, 8, 64, 32, 5, 27, d)
+	near := l2.HitLatency(0, 0) // bank 0, core 0
+	far := l2.HitLatency(31, 0) // bank 0, far core
+	if near >= far {
+		t.Fatalf("near=%d far=%d", near, far)
+	}
+	if near < 5 || far > 27 {
+		t.Fatalf("latencies out of range: %d %d", near, far)
+	}
+}
+
+type fakeDir struct {
+	invals     []int
+	downgrades []int
+	dirty      bool
+}
+
+func (f *fakeDir) InvalidateL1(core int, addr uint64) (bool, bool) {
+	f.invals = append(f.invals, core)
+	return true, f.dirty
+}
+func (f *fakeDir) DowngradeL1(core int, addr uint64) bool {
+	f.downgrades = append(f.downgrades, core)
+	return true
+}
+
+func TestL2DirectoryTracksSharersAndUpgrades(t *testing.T) {
+	d := NewDRAM(150, 2, 4)
+	l2 := NewL2(4<<20, 8, 64, 32, 5, 27, d)
+	dir := &fakeDir{}
+	l2.SetDirectory(dir)
+
+	l2.Read(3, 0x40, 0)
+	l2.Read(7, 0x40, 0)
+	sh, ok := l2.Sharers(0x40)
+	if !ok || sh != (1<<3)|(1<<7) {
+		t.Fatalf("sharers = %#x", sh)
+	}
+	// Core 7 writes: core 3's copy must be invalidated.
+	l2.Upgrade(7, 0x40, 100)
+	sh, _ = l2.Sharers(0x40)
+	if sh != 1<<7 {
+		t.Fatalf("after upgrade sharers = %#x", sh)
+	}
+	if len(dir.invals) != 1 || dir.invals[0] != 3 {
+		t.Fatalf("invals = %v", dir.invals)
+	}
+}
+
+func TestL2ForwardsDirtyLines(t *testing.T) {
+	d := NewDRAM(150, 2, 4)
+	l2 := NewL2(4<<20, 8, 64, 32, 5, 27, d)
+	dir := &fakeDir{}
+	l2.SetDirectory(dir)
+	l2.Upgrade(0, 0x80, 0) // core 0 owns dirty
+	done := l2.Read(31, 0x80, 1000)
+	if l2.Stats.Forwards != 1 {
+		t.Fatalf("forwards = %d", l2.Stats.Forwards)
+	}
+	if len(dir.downgrades) != 1 || dir.downgrades[0] != 0 {
+		t.Fatalf("downgrades = %v", dir.downgrades)
+	}
+	if done <= 1000+5 {
+		t.Fatalf("forwarded read should cost extra hops, done=%d", done)
+	}
+	// This is the recomposition path: a thread moved from core 0 to core
+	// 31 finds its dirty line via the directory without an L1 flush.
+}
+
+func TestL2WritebackAndDropSharer(t *testing.T) {
+	d := NewDRAM(150, 2, 4)
+	l2 := NewL2(4<<20, 8, 64, 32, 5, 27, d)
+	l2.Read(4, 0xc0, 0)
+	l2.WritebackL1(4, 0xc0)
+	if sh, _ := l2.Sharers(0xc0); sh != 0 {
+		t.Fatalf("sharers after writeback = %#x", sh)
+	}
+	l2.Read(5, 0xc0, 500)
+	l2.DropSharer(5, 0xc0)
+	if sh, _ := l2.Sharers(0xc0); sh != 0 {
+		t.Fatalf("sharers after drop = %#x", sh)
+	}
+}
+
+func TestLSQOrderingKey(t *testing.T) {
+	f := func(s1, s2 uint32, l1, l2 uint8) bool {
+		a := MemKey{uint64(s1), int8(l1 % 32)}
+		b := MemKey{uint64(s2), int8(l2 % 32)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSQNACKOnOverflow(t *testing.T) {
+	b := NewLSQBank(2)
+	ok, _ := b.Insert(LSQEntry{Key: MemKey{1, 0}, Addr: 0, Size: 8})
+	ok2, _ := b.Insert(LSQEntry{Key: MemKey{1, 1}, Addr: 8, Size: 8})
+	ok3, _ := b.Insert(LSQEntry{Key: MemKey{1, 2}, Addr: 16, Size: 8})
+	if !ok || !ok2 || ok3 {
+		t.Fatalf("ok=%v ok2=%v ok3=%v", ok, ok2, ok3)
+	}
+	if b.Stats.NACKs != 1 {
+		t.Fatalf("NACKs = %d", b.Stats.NACKs)
+	}
+	b.RemoveBlock(1)
+	if b.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d", b.Occupancy())
+	}
+	ok4, _ := b.Insert(LSQEntry{Key: MemKey{2, 0}, Addr: 0, Size: 8})
+	if !ok4 {
+		t.Fatal("insert after removal should succeed")
+	}
+}
+
+func TestLSQViolationDetection(t *testing.T) {
+	b := NewLSQBank(44)
+	// Younger load executes first.
+	b.Insert(LSQEntry{Key: MemKey{5, 3}, Addr: 100, Size: 8})
+	// Older store to an overlapping address arrives later: violation.
+	_, v := b.Insert(LSQEntry{Key: MemKey{5, 1}, Store: true, Addr: 104, Size: 4})
+	if len(v) != 1 || v[0] != (MemKey{5, 3}) {
+		t.Fatalf("violations = %v", v)
+	}
+	// Non-overlapping store: no violation.
+	_, v2 := b.Insert(LSQEntry{Key: MemKey{5, 0}, Store: true, Addr: 200, Size: 8})
+	if len(v2) != 0 {
+		t.Fatalf("violations = %v", v2)
+	}
+	// Store younger than the load: no violation.
+	_, v3 := b.Insert(LSQEntry{Key: MemKey{6, 0}, Store: true, Addr: 100, Size: 8})
+	if len(v3) != 0 {
+		t.Fatalf("violations = %v", v3)
+	}
+}
+
+func TestLSQForwardFrom(t *testing.T) {
+	b := NewLSQBank(44)
+	b.Insert(LSQEntry{Key: MemKey{5, 1}, Store: true, Addr: 100, Size: 8})
+	if !b.ForwardFrom(MemKey{5, 2}, 100, 8) {
+		t.Fatal("expected forwarding from older store")
+	}
+	if b.ForwardFrom(MemKey{5, 0}, 100, 8) {
+		t.Fatal("older load should not forward from younger store")
+	}
+	if b.ForwardFrom(MemKey{5, 2}, 200, 8) {
+		t.Fatal("disjoint address should not forward")
+	}
+}
+
+func TestLSQRemoveFrom(t *testing.T) {
+	b := NewLSQBank(44)
+	for seq := uint64(1); seq <= 4; seq++ {
+		b.Insert(LSQEntry{Key: MemKey{seq, 0}, Addr: seq * 64, Size: 8})
+	}
+	if n := b.RemoveFrom(3); n != 2 {
+		t.Fatalf("removed %d", n)
+	}
+	if b.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d", b.Occupancy())
+	}
+}
+
+func TestBytesOverlapProperty(t *testing.T) {
+	f := func(a1, a2 uint16, s1, s2 uint8) bool {
+		sz1 := uint8(1 + s1%8)
+		sz2 := uint8(1 + s2%8)
+		got := bytesOverlap(uint64(a1), sz1, uint64(a2), sz2)
+		// Brute force.
+		want := false
+		for i := uint64(a1); i < uint64(a1)+uint64(sz1); i++ {
+			for j := uint64(a2); j < uint64(a2)+uint64(sz2); j++ {
+				if i == j {
+					want = true
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2InclusiveEvictionInvalidatesL1(t *testing.T) {
+	// A tiny L2 (one set) forces an eviction of a line with an L1 sharer;
+	// inclusion requires the directory to invalidate the L1 copy.
+	d := NewDRAM(150, 2, 4)
+	l2 := NewL2(2*64, 2, 64, 1, 5, 27, d) // one set, two ways
+	dir := &fakeDir{}
+	l2.SetDirectory(dir)
+	l2.Read(3, 0*64, 0)
+	l2.Read(4, 1*64, 0)
+	// Third distinct line evicts the LRU line (line 0, shared by core 3).
+	l2.Read(5, 2*64, 100)
+	if len(dir.invals) == 0 {
+		t.Fatal("inclusive eviction should invalidate L1 sharers")
+	}
+	found := false
+	for _, c := range dir.invals {
+		if c == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("core 3 not invalidated: %v", dir.invals)
+	}
+}

@@ -1,0 +1,237 @@
+// Package noc models the on-chip 2-D mesh networks connecting TFlex cores:
+// the operand network that routes dataflow operands between ALUs, and the
+// control network used by the distributed fetch/commit protocols.
+//
+// The model is a reservation-based approximation of a wormhole-routed
+// mesh: messages follow dimension-ordered (XY) routes; each directed link
+// accepts a fixed number of flits per cycle (the paper doubles the operand
+// network bandwidth of TFlex relative to TRIPS); a message occupies one
+// link slot per hop, one hop per cycle, and is delayed to the earliest
+// cycle with a free slot on each link along its path.  Adjacent-core
+// bypass costs a single cycle, matching the paper's 1-cycle inter-core hop
+// at 2.5 GHz.
+package noc
+
+// horizon is the per-link reservation window in cycles.  Reservations are
+// made at or slightly after the current simulation cycle, so a few
+// thousand cycles of lookahead is ample.
+const horizon = 4096
+
+type link struct {
+	base uint64 // cycle corresponding to slot 0
+	used []uint16
+}
+
+func (l *link) reserve(t uint64, bw uint16) uint64 {
+	if l.used == nil {
+		l.used = make([]uint16, horizon)
+		l.base = t
+	}
+	if t < l.base {
+		t = l.base
+	}
+	for {
+		if t >= l.base+horizon {
+			// Advance the window; everything before t is forgotten.
+			for i := range l.used {
+				l.used[i] = 0
+			}
+			l.base = t
+		}
+		idx := (t - l.base) % horizon
+		if l.used[idx] < bw {
+			l.used[idx]++
+			return t
+		}
+		t++
+	}
+}
+
+// Stats counts network activity for the power model and reports.
+type Stats struct {
+	Messages        uint64
+	Hops            uint64 // flit-hops (router traversals)
+	StallCycles     uint64 // cycles lost to link contention
+	LocalDeliveries uint64
+}
+
+// Mesh is one W x H mesh network.  Node IDs are y*W + x.
+type Mesh struct {
+	W, H int
+	BW   uint16 // flits per link per cycle
+
+	links []link // [node*4 + dir]
+	stats Stats
+}
+
+// Directions for link indexing.
+const (
+	dirE = iota
+	dirW
+	dirN
+	dirS
+)
+
+// NewMesh returns a mesh of the given dimensions and per-link bandwidth.
+func NewMesh(w, h int, bw int) *Mesh {
+	if w < 1 || h < 1 || bw < 1 {
+		panic("noc: invalid mesh shape")
+	}
+	return &Mesh{W: w, H: h, BW: uint16(bw), links: make([]link, w*h*4)}
+}
+
+// Stats returns accumulated network statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// XY returns the coordinates of a node.
+func (m *Mesh) XY(node int) (x, y int) { return node % m.W, node / m.W }
+
+// Dist returns the Manhattan hop distance between two nodes.
+func (m *Mesh) Dist(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send routes one message from node `from` to node `to`, injected at cycle
+// start, and returns its arrival cycle.  Local delivery (from == to) is
+// free: the value goes through the local bypass.
+func (m *Mesh) Send(from, to int, start uint64) uint64 {
+	if from == to {
+		m.stats.LocalDeliveries++
+		return start
+	}
+	m.stats.Messages++
+	t := start
+	x, y := m.XY(from)
+	tx, ty := m.XY(to)
+	ideal := uint64(m.Dist(from, to))
+	// X first, then Y (dimension-ordered).
+	for x != tx {
+		dir := dirE
+		nx := x + 1
+		if tx < x {
+			dir = dirW
+			nx = x - 1
+		}
+		t = m.links[(y*m.W+x)*4+dir].reserve(t, m.BW) + 1
+		x = nx
+		m.stats.Hops++
+	}
+	for y != ty {
+		dir := dirS
+		ny := y + 1
+		if ty < y {
+			dir = dirN
+			ny = y - 1
+		}
+		t = m.links[(y*m.W+x)*4+dir].reserve(t, m.BW) + 1
+		y = ny
+		m.stats.Hops++
+	}
+	if t-start > ideal {
+		m.stats.StallCycles += (t - start) - ideal
+	}
+	return t
+}
+
+// Latency returns the uncontended latency between two nodes (hops cycles),
+// without reserving link slots.  Used for analytic components such as the
+// S-NUCA bank access time.
+func (m *Mesh) Latency(from, to int) uint64 { return uint64(m.Dist(from, to)) }
+
+// Multicast delivers one message from `from` to every node in targets as
+// a tree multicast: the flit crosses each link of the XY-route tree once
+// and forks at the routers, as in the TRIPS global dispatch/control
+// networks.  It returns the arrival cycle at each target (same order).
+func (m *Mesh) Multicast(from int, targets []int, start uint64) []uint64 {
+	arr := make([]uint64, len(targets))
+	// crossed[link] = cycle at which the multicast flit finished crossing
+	// that link; shared prefixes reuse the same crossing.
+	crossed := map[int]uint64{}
+	first := true
+	for i, to := range targets {
+		if to == from {
+			arr[i] = start
+			m.stats.LocalDeliveries++
+			continue
+		}
+		if first {
+			m.stats.Messages++
+			first = false
+		}
+		t := start
+		x, y := m.XY(from)
+		tx, ty := m.XY(to)
+		step := func(dir, nx, ny int) {
+			li := (y*m.W+x)*4 + dir
+			if done, ok := crossed[li]; ok {
+				t = done
+			} else {
+				t = m.links[li].reserve(t, m.BW) + 1
+				crossed[li] = t
+				m.stats.Hops++
+			}
+			x, y = nx, ny
+		}
+		for x != tx {
+			if tx > x {
+				step(dirE, x+1, y)
+			} else {
+				step(dirW, x-1, y)
+			}
+		}
+		for y != ty {
+			if ty > y {
+				step(dirS, x, y+1)
+			} else {
+				step(dirN, x, y-1)
+			}
+		}
+		arr[i] = t
+	}
+	return arr
+}
+
+// Broadcast sends one message from `from` to each node in targets,
+// injecting at most injectBW messages per cycle, and returns the cycle at
+// which the last target receives it.  Models serialized unicast
+// distribution (tree multicasts use Multicast instead).
+func (m *Mesh) Broadcast(from int, targets []int, start uint64, injectBW int) uint64 {
+	if injectBW < 1 {
+		injectBW = 1
+	}
+	last := start
+	n := 0
+	for _, to := range targets {
+		t := start + uint64(n/injectBW)
+		arr := m.Send(from, to, t)
+		if arr > last {
+			last = arr
+		}
+		if to != from {
+			n++
+		}
+	}
+	return last
+}
+
+// Gather returns the cycle by which messages from every source, sent at
+// their respective start times, reach `to`.  Models commit ACK collection.
+func (m *Mesh) Gather(sources []int, starts []uint64, to int) uint64 {
+	var last uint64
+	for i, from := range sources {
+		arr := m.Send(from, to, starts[i])
+		if arr > last {
+			last = arr
+		}
+	}
+	return last
+}

@@ -1,0 +1,148 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	m := NewMesh(4, 8, 1)
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},   // one row down
+		{0, 5, 2},   // diagonal
+		{0, 31, 10}, // corner to corner of 4x8
+	}
+	for _, c := range cases {
+		if got := m.Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	m := NewMesh(4, 8, 1)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%32, int(b)%32
+		return m.Dist(x, y) == m.Dist(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendUncontended(t *testing.T) {
+	m := NewMesh(4, 4, 2)
+	// Adjacent hop: 1 cycle.
+	if arr := m.Send(0, 1, 100); arr != 101 {
+		t.Fatalf("adjacent arrival %d, want 101", arr)
+	}
+	// Local delivery is free.
+	if arr := m.Send(5, 5, 100); arr != 100 {
+		t.Fatalf("local arrival %d", arr)
+	}
+	// Multi-hop: hops cycles.
+	m2 := NewMesh(4, 4, 2)
+	if arr := m2.Send(0, 15, 0); arr != uint64(m2.Dist(0, 15)) {
+		t.Fatalf("corner arrival %d, want %d", arr, m2.Dist(0, 15))
+	}
+}
+
+func TestSendContention(t *testing.T) {
+	// With bw=1, two messages over the same link in the same cycle must
+	// serialize; with bw=2 they must not.
+	for _, bw := range []int{1, 2} {
+		m := NewMesh(2, 1, bw)
+		a1 := m.Send(0, 1, 10)
+		a2 := m.Send(0, 1, 10)
+		if a1 != 11 {
+			t.Fatalf("bw=%d first arrival %d", bw, a1)
+		}
+		want := uint64(11)
+		if bw == 1 {
+			want = 12
+		}
+		if a2 != want {
+			t.Fatalf("bw=%d second arrival %d, want %d", bw, a2, want)
+		}
+	}
+}
+
+func TestContentionStatsCounted(t *testing.T) {
+	m := NewMesh(2, 1, 1)
+	m.Send(0, 1, 10)
+	m.Send(0, 1, 10)
+	if m.Stats().StallCycles == 0 {
+		t.Fatal("expected stall cycles under contention")
+	}
+	if m.Stats().Messages != 2 || m.Stats().Hops != 2 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestSendMonotonicProperty(t *testing.T) {
+	m := NewMesh(4, 8, 2)
+	f := func(from, to uint8, start uint16) bool {
+		f32, t32 := int(from)%32, int(to)%32
+		arr := m.Send(f32, t32, uint64(start))
+		return arr >= uint64(start)+uint64(m.Dist(f32, t32))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSerializesInjection(t *testing.T) {
+	m := NewMesh(4, 1, 8) // wide links so only injection limits
+	targets := []int{1, 1, 1, 1}
+	last := m.Broadcast(0, targets, 0, 1)
+	// Four messages injected one per cycle, each 1 hop: last at 1+3.
+	if last != 4 {
+		t.Fatalf("last arrival %d, want 4", last)
+	}
+	m2 := NewMesh(4, 1, 8)
+	last2 := m2.Broadcast(0, targets, 0, 4)
+	if last2 >= last {
+		t.Fatalf("higher injection bandwidth should reduce latency: %d vs %d", last2, last)
+	}
+}
+
+func TestBroadcastIncludesSelfFree(t *testing.T) {
+	m := NewMesh(2, 1, 1)
+	last := m.Broadcast(0, []int{0}, 7, 1)
+	if last != 7 {
+		t.Fatalf("self broadcast should be free, got %d", last)
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := NewMesh(4, 1, 2)
+	last := m.Gather([]int{0, 1, 2, 3}, []uint64{0, 0, 0, 0}, 0)
+	if last < 3 {
+		t.Fatalf("gather from node 3 needs >= 3 cycles, got %d", last)
+	}
+}
+
+func TestReservationWindowAdvance(t *testing.T) {
+	// Reservations far beyond the horizon must still work.
+	m := NewMesh(2, 1, 1)
+	m.Send(0, 1, 0)
+	if arr := m.Send(0, 1, 1_000_000); arr != 1_000_001 {
+		t.Fatalf("far-future send arrival %d", arr)
+	}
+	if arr := m.Send(0, 1, 1_000_000); arr != 1_000_002 {
+		t.Fatalf("contended far-future send arrival %d", arr)
+	}
+}
+
+func TestNewMeshPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMesh(0, 4, 1)
+}

@@ -1,0 +1,150 @@
+// Package power implements the Wattch-style power model of paper §6.3:
+// per-access energies for the major structures (derived, in the original,
+// from the TRIPS design database and prototype measurements), a clock-tree
+// term scaled by structure counts, and an area-based leakage term of
+// ~8-10% of total power.  Results are reported in the same categories as
+// the paper's Table 2: fetch, execution, L1 D-cache, routers, L2 cache,
+// DRAM/IO, clock tree and leakage.
+//
+// As with the area model, the absolute calibration is a reconstruction;
+// the paper's power results (Figure 8) are perf²/W ratios between
+// configurations of the same model, which the reconstruction preserves —
+// including the key asymmetry that TRIPS carries twice the (mostly idle)
+// floating-point units of an equal-width TFlex composition.
+package power
+
+// Energy holds per-event energies in nanojoules (130nm, 1.5V).
+type Energy struct {
+	ICacheAccess float64 // per block fetch per core bank
+	Predict      float64 // per next-block prediction
+	RegRead      float64
+	RegWrite     float64
+	WindowOp     float64 // wakeup+select per fired instruction
+	IntOp        float64
+	FPOp         float64
+	L1DAccess    float64
+	LSQSearch    float64
+	RouterFlit   float64 // per hop
+	L2Access     float64
+	DRAMAccess   float64
+}
+
+// Model is the chip power model.
+type Model struct {
+	E Energy
+	// Clock-tree power scales with the structures clocked.
+	CoreClockW float64 // per participating core
+	FPUClockW  float64 // per FPU present (idle FPUs still burn clock)
+	// LeakFrac is leakage as a fraction of total power (8-10% at 130nm).
+	LeakFrac float64
+	// FreqGHz converts cycles to seconds.
+	FreqGHz float64
+	// DRAMIOW is the constant DRAM/IO interface power.
+	DRAMIOW float64
+}
+
+// Default returns the reconstructed 130nm model.
+func Default() Model {
+	return Model{
+		E: Energy{
+			ICacheAccess: 0.30,
+			Predict:      0.15,
+			RegRead:      0.08,
+			RegWrite:     0.10,
+			WindowOp:     0.20,
+			IntOp:        0.12,
+			FPOp:         0.60,
+			L1DAccess:    0.40,
+			LSQSearch:    0.25,
+			RouterFlit:   0.05,
+			L2Access:     1.20,
+			DRAMAccess:   8.00,
+		},
+		CoreClockW: 0.32,
+		FPUClockW:  0.22,
+		LeakFrac:   0.09,
+		FreqGHz:    0.366, // TRIPS prototype clock
+		DRAMIOW:    0.80,
+	}
+}
+
+// Counters are the activity counts feeding the model.
+type Counters struct {
+	Cycles uint64
+	Cores  int // participating cores
+	FPUs   int // FPUs present (TRIPS: one per tile; TFlex: one per core)
+
+	BlockFetches uint64 // block fetch commands (per-core I-bank reads)
+	Predictions  uint64
+	IntOps       uint64
+	FPOps        uint64
+	RegReads     uint64
+	RegWrites    uint64
+	L1DAccesses  uint64
+	LSQOps       uint64
+	RouterFlits  uint64
+	L2Accesses   uint64
+	DRAMAccesses uint64
+}
+
+// Breakdown is the Table 2 category report, in watts.
+type Breakdown struct {
+	Fetch     float64
+	Execution float64
+	L1D       float64
+	Routers   float64
+	L2        float64
+	DRAMIO    float64
+	Clock     float64
+	Leakage   float64
+}
+
+// Total sums all categories.
+func (b Breakdown) Total() float64 {
+	return b.Fetch + b.Execution + b.L1D + b.Routers + b.L2 + b.DRAMIO + b.Clock + b.Leakage
+}
+
+// Breakdown evaluates the model over an activity window.
+func (m Model) Breakdown(c Counters) Breakdown {
+	if c.Cycles == 0 {
+		return Breakdown{}
+	}
+	seconds := float64(c.Cycles) / (m.FreqGHz * 1e9)
+	nj := func(events uint64, e float64) float64 {
+		return float64(events) * e * 1e-9 / seconds
+	}
+	var b Breakdown
+	// Fetch: per-block I-cache reads in every participating core bank,
+	// plus prediction.
+	b.Fetch = nj(c.BlockFetches*uint64(max(1, c.Cores)), m.E.ICacheAccess) +
+		nj(c.Predictions, m.E.Predict)
+	b.Execution = nj(c.IntOps, m.E.IntOp) + nj(c.FPOps, m.E.FPOp) +
+		nj(c.IntOps+c.FPOps, m.E.WindowOp) +
+		nj(c.RegReads, m.E.RegRead) + nj(c.RegWrites, m.E.RegWrite)
+	b.L1D = nj(c.L1DAccesses, m.E.L1DAccess) + nj(c.LSQOps, m.E.LSQSearch)
+	b.Routers = nj(c.RouterFlits, m.E.RouterFlit)
+	b.L2 = nj(c.L2Accesses, m.E.L2Access)
+	b.DRAMIO = nj(c.DRAMAccesses, m.E.DRAMAccess) + m.DRAMIOW
+	b.Clock = m.CoreClockW*float64(c.Cores) + m.FPUClockW*float64(c.FPUs)
+	dyn := b.Fetch + b.Execution + b.L1D + b.Routers + b.L2 + b.DRAMIO + b.Clock
+	// leakage = LeakFrac * total  =>  total = dyn / (1 - LeakFrac).
+	b.Leakage = dyn * m.LeakFrac / (1 - m.LeakFrac)
+	return b
+}
+
+// PerfSqPerWatt computes the paper's Figure 8 metric: perf²/W with
+// performance measured as 1/cycles.
+func PerfSqPerWatt(cycles uint64, watts float64) float64 {
+	if cycles == 0 || watts <= 0 {
+		return 0
+	}
+	p := 1.0 / float64(cycles)
+	return p * p / watts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package power
+
+import "testing"
+
+func sampleCounters(cores, fpus int) Counters {
+	return Counters{
+		Cycles: 1_000_000, Cores: cores, FPUs: fpus,
+		BlockFetches: 10_000, Predictions: 10_000,
+		IntOps: 500_000, FPOps: 50_000,
+		RegReads: 100_000, RegWrites: 80_000,
+		L1DAccesses: 120_000, LSQOps: 120_000,
+		RouterFlits: 400_000, L2Accesses: 5_000, DRAMAccesses: 300,
+	}
+}
+
+func TestBreakdownPositiveAndLeakage(t *testing.T) {
+	m := Default()
+	b := m.Breakdown(sampleCounters(8, 8))
+	if b.Total() <= 0 {
+		t.Fatal("zero power")
+	}
+	frac := b.Leakage / b.Total()
+	if frac < 0.08 || frac > 0.10 {
+		t.Fatalf("leakage fraction %.3f outside 8-10%%", frac)
+	}
+	for _, v := range []float64{b.Fetch, b.Execution, b.L1D, b.Routers, b.L2, b.DRAMIO, b.Clock} {
+		if v < 0 {
+			t.Fatal("negative category")
+		}
+	}
+}
+
+func TestIdleFPUsCostClockPower(t *testing.T) {
+	// Same activity, twice the FPUs (the TRIPS asymmetry): total power
+	// must increase even though FP op counts are identical.
+	m := Default()
+	few := m.Breakdown(sampleCounters(8, 8))
+	many := m.Breakdown(sampleCounters(8, 16))
+	if many.Total() <= few.Total() {
+		t.Fatalf("16 FPUs (%.2fW) should burn more than 8 (%.2fW)", many.Total(), few.Total())
+	}
+	if many.Clock <= few.Clock {
+		t.Fatal("extra FPUs should show up in the clock tree")
+	}
+}
+
+func TestMoreActivityMorePower(t *testing.T) {
+	m := Default()
+	base := sampleCounters(8, 8)
+	busy := base
+	busy.IntOps *= 4
+	busy.L1DAccesses *= 4
+	if m.Breakdown(busy).Total() <= m.Breakdown(base).Total() {
+		t.Fatal("more activity must burn more power")
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	m := Default()
+	if m.Breakdown(Counters{}).Total() != 0 {
+		t.Fatal("zero window should give zero power")
+	}
+}
+
+func TestPerfSqPerWatt(t *testing.T) {
+	if PerfSqPerWatt(0, 1) != 0 || PerfSqPerWatt(1, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+	// Halving cycles at equal power quadruples perf²/W.
+	a := PerfSqPerWatt(1000, 10)
+	b := PerfSqPerWatt(500, 10)
+	if b/a < 3.99 || b/a > 4.01 {
+		t.Fatalf("ratio = %v, want 4", b/a)
+	}
+}

@@ -1,0 +1,251 @@
+package predictor
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+func newPred(n int) *Composed {
+	return NewComposed(compose.DefaultCoreParams(), n)
+}
+
+const blockA = uint64(0x10000)
+const blockB = blockA + uint64(isa.BlockBytes)
+const blockC = blockB + uint64(isa.BlockBytes)
+
+func TestLearnsRepeatingExit(t *testing.T) {
+	p := newPred(4)
+	var hist History
+	// Block A always takes exit 2 to block C.
+	for i := 0; i < 50; i++ {
+		pred, h2 := p.Predict(blockA, hist)
+		ok, fixed := p.Resolve(&pred, 2, isa.BranchRegular, blockC)
+		hist = h2
+		if !ok {
+			hist = fixed
+		}
+	}
+	pred, _ := p.Predict(blockA, hist)
+	if pred.Exit != 2 {
+		t.Fatalf("exit = %d, want 2", pred.Exit)
+	}
+	if pred.Next != blockC {
+		t.Fatalf("target = %#x, want %#x", pred.Next, blockC)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	// Alternating exits 0,1,0,1... is learnable from local history.
+	p := newPred(2)
+	var hist History
+	miss := 0
+	for i := 0; i < 400; i++ {
+		exit := uint8(i % 2)
+		target := blockB
+		if exit == 1 {
+			target = blockC
+		}
+		pred, h2 := p.Predict(blockA, hist)
+		if i > 100 && pred.Exit != exit {
+			miss++
+		}
+		ok, fixed := p.Resolve(&pred, exit, isa.BranchRegular, target)
+		hist = h2
+		if !ok {
+			hist = fixed
+		}
+	}
+	if miss > 15 {
+		t.Fatalf("alternating pattern misses = %d/300", miss)
+	}
+}
+
+func TestCapacityScalesWithComposition(t *testing.T) {
+	// With many distinct blocks, a larger composition has more aggregate
+	// local-history and target state and should mispredict less.
+	run := func(n int) uint64 {
+		p := newPred(n)
+		var hist History
+		nBlocks := 512
+		for pass := 0; pass < 6; pass++ {
+			for b := 0; b < nBlocks; b++ {
+				addr := blockA + uint64(b)*uint64(isa.BlockBytes)
+				// Deterministic but block-dependent behaviour.
+				exit := uint8(b % 3)
+				target := blockA + uint64((b*7+1)%nBlocks)*uint64(isa.BlockBytes)
+				pred, h2 := p.Predict(addr, hist)
+				ok, fixed := p.Resolve(&pred, exit, isa.BranchRegular, target)
+				hist = h2
+				if !ok {
+					hist = fixed
+				}
+			}
+		}
+		return p.Stats.Mispredicts
+	}
+	small := run(1)
+	large := run(16)
+	if large >= small {
+		t.Fatalf("16-core predictor (%d misses) not better than 1-core (%d)", large, small)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	p := newPred(2)
+	var hist History
+	// Teach the predictor that A is a call to B and B is a return.
+	for i := 0; i < 20; i++ {
+		predA, h2 := p.Predict(blockA, hist)
+		okA, fixedA := p.Resolve(&predA, 0, isa.BranchCall, blockB)
+		hist = h2
+		if !okA {
+			p.CorrectRAS(blockA, isa.BranchCall)
+			hist = fixedA
+		}
+		predB, h3 := p.Predict(blockB, hist)
+		okB, fixedB := p.Resolve(&predB, 0, isa.BranchReturn, blockA+uint64(isa.BlockBytes))
+		hist = h3
+		if !okB {
+			hist = fixedB
+		}
+	}
+	predA, h := p.Predict(blockA, hist)
+	if predA.Type != isa.BranchCall || predA.Next != blockB {
+		t.Fatalf("call prediction: type=%v next=%#x", predA.Type, predA.Next)
+	}
+	predB, _ := p.Predict(blockB, h)
+	if predB.Type != isa.BranchReturn {
+		t.Fatalf("return type = %v", predB.Type)
+	}
+	if !predB.UsedRAS {
+		t.Fatal("return should use RAS")
+	}
+	// The RAS must produce the return address pushed by the call:
+	// the block after A.
+	if predB.Next != blockA+uint64(isa.BlockBytes) {
+		t.Fatalf("return target = %#x, want %#x", predB.Next, blockA+uint64(isa.BlockBytes))
+	}
+}
+
+func TestRASDepthScalesWithCores(t *testing.T) {
+	params := compose.DefaultCoreParams()
+	p1 := NewComposed(params, 1)
+	p4 := NewComposed(params, 4)
+	if len(p4.ras) != 4*len(p1.ras) {
+		t.Fatalf("RAS sizes %d vs %d", len(p4.ras), len(p1.ras))
+	}
+	if len(p1.ras) != params.RASEntries {
+		t.Fatalf("single-core RAS = %d", len(p1.ras))
+	}
+}
+
+func TestRASTopCoreMoves(t *testing.T) {
+	p := newPred(2) // 32-entry logical RAS: entries 0-15 on core 0, 16-31 on core 1
+	var hist History
+	if p.TopCore() != 0 {
+		t.Fatalf("empty stack top core = %d", p.TopCore())
+	}
+	// Push 20 calls: top must move to core 1.
+	for i := 0; i < 20; i++ {
+		addr := blockA + uint64(i)*uint64(isa.BlockBytes)
+		// Force call predictions by training first.
+		for j := 0; j < 3; j++ {
+			pred, h2 := p.Predict(addr, hist)
+			ok, fixed := p.Resolve(&pred, 0, isa.BranchCall, blockB)
+			hist = h2
+			if !ok {
+				p.Repair(&pred)
+				p.CorrectRAS(addr, isa.BranchCall)
+				hist = fixed
+			}
+		}
+	}
+	if p.TopCore() != 1 {
+		t.Fatalf("deep stack top core = %d, want 1", p.TopCore())
+	}
+}
+
+func TestRepairRestoresState(t *testing.T) {
+	p := newPred(2)
+	var hist History
+	// Train a call so the RAS moves.
+	for i := 0; i < 10; i++ {
+		pred, h2 := p.Predict(blockA, hist)
+		ok, fixed := p.Resolve(&pred, 0, isa.BranchCall, blockB)
+		hist = h2
+		if !ok {
+			p.Repair(&pred)
+			p.CorrectRAS(blockA, isa.BranchCall)
+			hist = fixed
+		}
+	}
+	topBefore := p.rasTop
+	cp := p.cores[p.OwnerOf(blockA)]
+	localBefore := append([]uint16(nil), cp.localL1...)
+
+	pred, _ := p.Predict(blockA, hist)
+	if p.rasTop == topBefore {
+		t.Fatal("prediction should have pushed the RAS")
+	}
+	p.Repair(&pred)
+	if p.rasTop != topBefore {
+		t.Fatalf("RAS top not repaired: %d vs %d", p.rasTop, topBefore)
+	}
+	for i := range localBefore {
+		if cp.localL1[i] != localBefore[i] {
+			t.Fatalf("local history %d not repaired", i)
+		}
+	}
+}
+
+func TestRASUnderflowFallsBack(t *testing.T) {
+	p := newPred(1)
+	var hist History
+	// Train a return with an empty RAS.
+	for i := 0; i < 10; i++ {
+		pred, h2 := p.Predict(blockA, hist)
+		ok, fixed := p.Resolve(&pred, 0, isa.BranchReturn, blockB)
+		hist = h2
+		if !ok {
+			p.Repair(&pred)
+			p.CorrectRAS(blockA, isa.BranchReturn)
+			hist = fixed
+		}
+	}
+	pred, _ := p.Predict(blockA, hist)
+	if pred.Type == isa.BranchReturn && pred.Next == 0 {
+		t.Fatal("underflow should fall back to a non-zero address")
+	}
+	if p.Stats.RASUnderflows == 0 {
+		t.Fatal("underflows should be counted")
+	}
+}
+
+func TestStatsCountMisses(t *testing.T) {
+	p := newPred(1)
+	var hist History
+	pred, _ := p.Predict(blockA, hist)
+	p.Resolve(&pred, 5, isa.BranchRegular, blockC) // cold: wrong
+	_ = hist
+	if p.Stats.Predictions != 1 {
+		t.Fatalf("predictions = %d", p.Stats.Predictions)
+	}
+	if p.Stats.Mispredicts == 0 {
+		t.Fatal("cold prediction should mispredict")
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	p := newPred(8)
+	counts := make([]int, 8)
+	for i := 0; i < 800; i++ {
+		counts[p.OwnerOf(blockA+uint64(i)*uint64(isa.BlockBytes))]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("owner %d has %d sequential blocks", c, n)
+		}
+	}
+}

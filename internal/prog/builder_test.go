@@ -1,0 +1,244 @@
+package prog
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+func TestBuilderSimpleBlock(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("main")
+	x := bb.Read(1)
+	y := bb.Read(2)
+	s := bb.Add(x, y)
+	bb.Write(3, s)
+	bb.Halt()
+	p, err := b.Program("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := p.Lookup("main")
+	if blk == nil {
+		t.Fatal("block not found")
+	}
+	if len(blk.Reads) != 2 || len(blk.Writes) != 1 {
+		t.Fatalf("reads=%d writes=%d", len(blk.Reads), len(blk.Writes))
+	}
+	if blk.Addr != CodeBase {
+		t.Fatalf("entry addr %#x", blk.Addr)
+	}
+	if err := blk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderSharedReadSlot(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	x1 := bb.Read(5)
+	x2 := bb.Read(5)
+	if x1 != x2 {
+		t.Fatal("repeated Read of same register should share a slot")
+	}
+	bb.Write(6, bb.Add(x1, x2))
+	bb.Halt()
+	p := b.MustProgram("m")
+	if n := len(p.Lookup("m").Reads); n != 1 {
+		t.Fatalf("read slots = %d, want 1", n)
+	}
+}
+
+func TestBuilderFanoutTree(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	// 9 consumers of x forces a mov tree.
+	var sum Ref = bb.AddI(x, 0)
+	for i := 0; i < 8; i++ {
+		sum = bb.Add(sum, x)
+	}
+	bb.Write(2, sum)
+	bb.Halt()
+	p := b.MustProgram("m")
+	blk := p.Lookup("m")
+	if err := blk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	movs := 0
+	for i := range blk.Insts {
+		if blk.Insts[i].Op == isa.OpMov {
+			movs++
+		}
+	}
+	if movs == 0 {
+		t.Fatal("expected fan-out movs")
+	}
+	// Every producer within limits.
+	for i := range blk.Insts {
+		if len(blk.Insts[i].Targets) > isa.MaxTargets {
+			t.Fatalf("inst %d has %d targets", i, len(blk.Insts[i].Targets))
+		}
+	}
+	for _, r := range blk.Reads {
+		if len(r.Targets) > isa.MaxTargets {
+			t.Fatalf("read has %d targets", len(r.Targets))
+		}
+	}
+}
+
+func TestBuilderGuardedStoreEmitsNull(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	p := bb.OpI(isa.OpLt, x, 10)
+	bb.When(p).Store(x, x, 0, 8)
+	bb.Halt()
+	pr := b.MustProgram("m")
+	blk := pr.Lookup("m")
+	var haveStore, haveNull bool
+	for i := range blk.Insts {
+		switch blk.Insts[i].Op {
+		case isa.OpStore:
+			haveStore = true
+			if blk.Insts[i].Pred != isa.PredOnTrue {
+				t.Error("store should be predicated on true")
+			}
+		case isa.OpNull:
+			haveNull = true
+			if blk.Insts[i].Pred != isa.PredOnFalse {
+				t.Error("null should be predicated on false")
+			}
+			if blk.Insts[i].NullLSID != 0 {
+				t.Error("null should retire LSID 0")
+			}
+		}
+	}
+	if !haveStore || !haveNull {
+		t.Fatalf("store=%v null=%v", haveStore, haveNull)
+	}
+	if blk.NumStores != 1 {
+		t.Fatalf("NumStores = %d", blk.NumStores)
+	}
+}
+
+func TestBuilderBranchExits(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	p := bb.OpI(isa.OpLt, x, 10)
+	bb.BranchIf(p, "m", "done")
+	d := b.Block("done")
+	d.Halt()
+	pr := b.MustProgram("m")
+	blk := pr.Lookup("m")
+	exits := map[uint8]bool{}
+	for i := range blk.Insts {
+		if blk.Insts[i].Op.IsBranch() {
+			exits[blk.Insts[i].Exit] = true
+		}
+	}
+	if len(exits) != 2 {
+		t.Fatalf("want 2 distinct exits, got %v", exits)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("cross block ref", func(t *testing.T) {
+		b := NewBuilder()
+		b1 := b.Block("a")
+		x := b1.Read(1)
+		b1.Halt()
+		b2 := b.Block("b")
+		b2.Write(2, x)
+		b2.Halt()
+		if _, err := b.Program("a"); err == nil {
+			t.Fatal("expected cross-block error")
+		}
+	})
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder()
+		bb := b.Block("a")
+		bb.Branch("nowhere")
+		if _, err := b.Program("a"); err == nil {
+			t.Fatal("expected undefined-label error")
+		}
+	})
+	t.Run("missing entry", func(t *testing.T) {
+		b := NewBuilder()
+		bb := b.Block("a")
+		bb.Halt()
+		if _, err := b.Program("zzz"); err == nil {
+			t.Fatal("expected missing-entry error")
+		}
+	})
+	t.Run("invalid register", func(t *testing.T) {
+		b := NewBuilder()
+		bb := b.Block("a")
+		bb.Read(500)
+		bb.Halt()
+		if _, err := b.Program("a"); err == nil {
+			t.Fatal("expected register-range error")
+		}
+	})
+	t.Run("too many mem ops", func(t *testing.T) {
+		b := NewBuilder()
+		bb := b.Block("a")
+		x := bb.Read(1)
+		for i := 0; i < isa.MaxMemOps+1; i++ {
+			bb.Load(x, int64(8*i), 8, false)
+		}
+		bb.Halt()
+		if _, err := b.Program("a"); err == nil {
+			t.Fatal("expected LSID overflow error")
+		}
+	})
+}
+
+func TestLabelAddrResolves(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("a")
+	ra := bb.LabelAddr("b")
+	bb.Write(1, ra)
+	bb.Branch("b")
+	b2 := b.Block("b")
+	b2.Halt()
+	p := b.MustProgram("a")
+	blkB := p.Lookup("b")
+	var found bool
+	for _, in := range p.Lookup("a").Insts {
+		if in.Op == isa.OpGenC && in.BranchTo == "b" {
+			found = true
+			if uint64(in.Imm) != blkB.Addr {
+				t.Fatalf("label const %#x, want %#x", in.Imm, blkB.Addr)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("label constant not emitted")
+	}
+}
+
+func TestStaticStats(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	v := bb.Load(x, 0, 8, false)
+	bb.Store(x, v, 8, 8)
+	bb.Halt()
+	p := b.MustProgram("m")
+	s := p.StaticStats()
+	if s.Blocks != 1 || s.MemOps != 2 || s.Branches != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDuplicateBlockName(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	bb.Halt()
+	bb2 := b.Block("m") // same builder state, not a duplicate
+	if bb2.s != bb.s {
+		t.Fatal("Block should return the same state for the same name")
+	}
+}

@@ -1,0 +1,159 @@
+package prog
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// Tests for the instruction placement pass (the TRIPS scheduler role).
+
+func placedProgram(t *testing.T) *isa.Block {
+	t.Helper()
+	b := NewBuilder()
+	bb := b.Block("m")
+	// Two independent dependence chains plus a shared input.
+	x := bb.Read(1)
+	c1 := bb.AddI(x, 1)
+	for k := 0; k < 5; k++ {
+		c1 = bb.MulI(c1, 3)
+	}
+	bb.Write(2, c1)
+	c2 := bb.AddI(x, 2)
+	for k := 0; k < 5; k++ {
+		c2 = bb.AddI(c2, 7)
+	}
+	bb.Write(3, c2)
+	bb.Halt()
+	p, err := b.Program("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Lookup("m")
+}
+
+func TestPlacementIDsUniqueAndBounded(t *testing.T) {
+	blk := placedProgram(t)
+	if len(blk.Insts) > isa.MaxBlockInsts {
+		t.Fatalf("block has %d slots", len(blk.Insts))
+	}
+	// Non-nop instructions occupy distinct slots by construction (the
+	// slice is the placement); verify the count matches the dataflow.
+	n := 0
+	for i := range blk.Insts {
+		if blk.Insts[i].Op != isa.OpNop {
+			n++
+		}
+	}
+	if n < 13 {
+		t.Fatalf("only %d placed instructions", n)
+	}
+}
+
+func TestPlacementKeepsChainsInOneClass(t *testing.T) {
+	blk := placedProgram(t)
+	// Walk each dependence edge: producer -> consumer should mostly stay
+	// in the same congruence class mod 32 (fan-out movs may hop).
+	sameClass, edges := 0, 0
+	for id := range blk.Insts {
+		in := &blk.Insts[id]
+		if in.Op == isa.OpNop {
+			continue
+		}
+		for _, tg := range in.Targets {
+			if tg.Kind == isa.TargetWrite {
+				continue
+			}
+			edges++
+			if id%32 == int(tg.Index)%32 {
+				sameClass++
+			}
+		}
+	}
+	if edges == 0 {
+		t.Fatal("no edges")
+	}
+	if frac := float64(sameClass) / float64(edges); frac < 0.6 {
+		t.Fatalf("only %.0f%% of dependence edges stay in one class", 100*frac)
+	}
+}
+
+func TestPlacementAffinityStableAcrossCompositions(t *testing.T) {
+	// Two instructions in the same class mod 32 are on the same core for
+	// every supported composition size (all divide 32).
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		for id := 0; id < 128; id++ {
+			if (id%32)%n != id%n {
+				t.Fatalf("class invariant broken: id %d, n %d", id, n)
+			}
+		}
+	}
+}
+
+func TestPlacementSpillsWhenClassFull(t *testing.T) {
+	// A single chain of >4 instructions cannot fit one class (4 slots per
+	// class); the placement must spill without exceeding limits.
+	b := NewBuilder()
+	bb := b.Block("m")
+	v := bb.Read(1)
+	for k := 0; k < 20; k++ {
+		v = bb.AddI(v, 1)
+	}
+	bb.Write(2, v)
+	bb.Halt()
+	p, err := b.Program("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := p.Lookup("m")
+	if err := blk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The chain still computes correctly (covered elsewhere); here check
+	// occupancy per class stays within the 4-slot cap.
+	var load [32]int
+	for id := range blk.Insts {
+		if blk.Insts[id].Op != isa.OpNop {
+			load[id%32]++
+			if load[id%32] > 4 {
+				t.Fatalf("class %d over capacity", id%32)
+			}
+		}
+	}
+}
+
+func TestFullBlockPlacement(t *testing.T) {
+	// Fill a block close to the 128-instruction limit and confirm the
+	// placement still fits and validates.
+	b := NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	var acc Ref = bb.AddI(x, 0)
+	for k := 0; k < 120; k++ {
+		acc = bb.AddI(acc, int64(k))
+	}
+	bb.Write(2, acc)
+	bb.Halt()
+	p, err := b.Program("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lookup("m").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverfullBlockRejected(t *testing.T) {
+	b := NewBuilder()
+	bb := b.Block("m")
+	x := bb.Read(1)
+	var acc Ref = bb.AddI(x, 0)
+	for k := 0; k < 140; k++ {
+		acc = bb.AddI(acc, 1)
+	}
+	bb.Write(2, acc)
+	bb.Halt()
+	if _, err := b.Program("m"); err == nil {
+		t.Fatal("141-instruction block should be rejected")
+	}
+}

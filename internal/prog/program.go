@@ -1,0 +1,142 @@
+// Package prog provides the program container and a builder API for
+// constructing EDGE block programs.  The builder plays the role of the
+// TRIPS compiler back end: callers describe dataflow with SSA-style value
+// references and the builder assigns instruction IDs, load/store IDs,
+// predicate routing and explicit target fields, inserting MOV fan-out trees
+// when a value has more than two consumers.
+package prog
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// CodeBase is the virtual address of the first block.  Blocks are laid out
+// contiguously in isa.BlockBytes chunks, so the "next sequential block"
+// used by call return-address prediction is Addr+isa.BlockBytes.
+const CodeBase uint64 = 0x0001_0000
+
+// Program is a laid-out collection of blocks.
+type Program struct {
+	Blocks []*isa.Block
+	Entry  string
+
+	byName map[string]*isa.Block
+	byAddr map[uint64]*isa.Block
+}
+
+// Lookup returns the block with the given name, or nil.
+func (p *Program) Lookup(name string) *isa.Block { return p.byName[name] }
+
+// BlockAt returns the block at the given address, or nil.
+func (p *Program) BlockAt(addr uint64) *isa.Block { return p.byAddr[addr] }
+
+// EntryBlock returns the entry block.
+func (p *Program) EntryBlock() *isa.Block { return p.byName[p.Entry] }
+
+// AddrOf returns the laid-out address of a labeled block.
+func (p *Program) AddrOf(name string) (uint64, bool) {
+	b, ok := p.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return b.Addr, true
+}
+
+// layout assigns addresses, resolves branch labels and label constants, and
+// validates every block.
+func (p *Program) layout() error {
+	p.byName = make(map[string]*isa.Block, len(p.Blocks))
+	p.byAddr = make(map[uint64]*isa.Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		if _, dup := p.byName[b.Name]; dup {
+			return fmt.Errorf("prog: duplicate block name %q", b.Name)
+		}
+		b.Addr = CodeBase + uint64(i)*uint64(isa.BlockBytes)
+		p.byName[b.Name] = b
+		p.byAddr[b.Addr] = b
+	}
+	if p.Entry == "" {
+		return fmt.Errorf("prog: no entry block")
+	}
+	if p.byName[p.Entry] == nil {
+		return fmt.Errorf("prog: entry block %q not defined", p.Entry)
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.BranchTo == "" {
+				continue
+			}
+			tgt, ok := p.byName[in.BranchTo]
+			if !ok {
+				return fmt.Errorf("prog: block %s references undefined label %q", b.Name, in.BranchTo)
+			}
+			if in.Op == isa.OpGenC {
+				// Label constant: materialize the target address.
+				in.Imm = int64(tgt.Addr)
+			}
+		}
+		if err := b.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BranchTarget resolves the architectural target address of a fired branch.
+// For OpRet the target is the operand value and this returns (0, false).
+func (p *Program) BranchTarget(in *isa.Inst) (uint64, bool) {
+	switch in.Op {
+	case isa.OpBro, isa.OpCallo:
+		b := p.byName[in.BranchTo]
+		if b == nil {
+			return 0, false
+		}
+		return b.Addr, true
+	}
+	return 0, false
+}
+
+// Stats summarizes static program properties (used in reports and tests).
+type Stats struct {
+	Blocks       int
+	Insts        int
+	Movs         int // fan-out overhead instructions
+	MemOps       int
+	Branches     int
+	MaxBlockSize int
+	AvgBlockSize float64
+}
+
+// StaticStats computes static code statistics.
+func (p *Program) StaticStats() Stats {
+	var s Stats
+	s.Blocks = len(p.Blocks)
+	for _, b := range p.Blocks {
+		n := 0
+		for i := range b.Insts {
+			switch b.Insts[i].Op {
+			case isa.OpNop:
+				continue // unused slot
+			case isa.OpMov:
+				s.Movs++
+			case isa.OpLoad, isa.OpStore:
+				s.MemOps++
+			}
+			if b.Insts[i].Op.IsBranch() {
+				s.Branches++
+			}
+			n++
+		}
+		s.Insts += n
+		if n > s.MaxBlockSize {
+			s.MaxBlockSize = n
+		}
+	}
+	if s.Blocks > 0 {
+		s.AvgBlockSize = float64(s.Insts) / float64(s.Blocks)
+	}
+	return s
+}

@@ -1,0 +1,221 @@
+// Package sched implements the run-time core-allocation layer the paper's
+// conclusion sketches (§8): low-level software that decides how many cores
+// each thread gets, launching queued jobs onto freed cores and choosing
+// compositions from per-application speedup profiles.
+//
+// The scheduler drives a real simulated chip: jobs co-run, contending for
+// the shared L2, DRAM and mesh links.  When a job halts, its cores return
+// to the free pool and the scheduler immediately places waiting jobs —
+// the online counterpart of the paper's offline Figure 10 methodology.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/clp-sim/tflex/internal/alloc"
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/prog"
+	"github.com/clp-sim/tflex/internal/sim"
+)
+
+// Job is one unit of work for the scheduler.
+type Job struct {
+	Name string
+	Prog *prog.Program
+	Init func(regs *[isa.NumRegs]uint64, m *exec.PageMem)
+	// Curve is the job's cores->speedup profile (from profiling runs);
+	// nil means "unknown", which the scheduler treats as flat.
+	Curve alloc.Curve
+	// MaxCores caps the composition the scheduler may grant.
+	MaxCores int
+
+	// Results, filled when the job completes.
+	Done      bool
+	Cores     int
+	StartedAt uint64
+	HaltedAt  uint64
+	Stats     sim.Stats
+}
+
+// Policy chooses a composition size for the next job given the free-core
+// count and the job's profile.
+type Policy func(job *Job, freeCores int) int
+
+// GreedyBest grants each job its best profiled composition that fits,
+// shrinking to the largest fitting measured size otherwise.
+func GreedyBest(job *Job, freeCores int) int {
+	limit := freeCores
+	if job.MaxCores > 0 && job.MaxCores < limit {
+		limit = job.MaxCores
+	}
+	if job.Curve == nil {
+		if limit >= 2 {
+			return 2
+		}
+		return limit
+	}
+	best, bestSp := 0, 0.0
+	for _, k := range job.Curve.Sizes() {
+		if k > limit {
+			continue
+		}
+		// Prefer the smallest size within 5% of the best speedup: frees
+		// cores for other jobs at negligible cost.
+		sp := job.Curve.At(k)
+		if sp > bestSp*1.05 {
+			best, bestSp = k, sp
+		}
+	}
+	return best
+}
+
+// EqualShare ignores profiles and grants min(freeCores, MaxCores, 4).
+func EqualShare(job *Job, freeCores int) int {
+	k := 4
+	if job.MaxCores > 0 && job.MaxCores < k {
+		k = job.MaxCores
+	}
+	if freeCores < k {
+		k = freeCores
+	}
+	return k
+}
+
+// Result summarizes a completed schedule.
+type Result struct {
+	Makespan   uint64  // cycle the last job halted
+	WeightedSp float64 // sum over jobs of speedup vs 1-core profile
+	Jobs       []*Job
+}
+
+// Scheduler places jobs onto a chip.
+type Scheduler struct {
+	chip   *sim.Chip
+	policy Policy
+
+	free    map[int]bool // physical core id -> free
+	pending []*Job
+	running map[*sim.Proc]*Job
+	all     []*Job
+}
+
+// New builds a scheduler over a fresh chip.
+func New(opts sim.Options, policy Policy) *Scheduler {
+	s := &Scheduler{
+		chip:    sim.New(opts),
+		policy:  policy,
+		free:    map[int]bool{},
+		running: map[*sim.Proc]*Job{},
+	}
+	for c := 0; c < compose.NumCores; c++ {
+		s.free[c] = true
+	}
+	s.chip.OnProcHalt(func(p *sim.Proc) { s.onHalt(p) })
+	return s
+}
+
+// Chip exposes the underlying chip (for stats inspection).
+func (s *Scheduler) Chip() *sim.Chip { return s.chip }
+
+// Submit queues a job.
+func (s *Scheduler) Submit(j *Job) {
+	s.pending = append(s.pending, j)
+	s.all = append(s.all, j)
+}
+
+// Run places as many jobs as fit, then drives the chip until every
+// submitted job has completed.
+func (s *Scheduler) Run(maxCycles uint64) (*Result, error) {
+	s.placeJobs()
+	if len(s.running) == 0 && len(s.pending) > 0 {
+		return nil, fmt.Errorf("sched: no job could be placed")
+	}
+	if err := s.chip.Run(maxCycles); err != nil {
+		return nil, err
+	}
+	if len(s.pending) > 0 {
+		return nil, fmt.Errorf("sched: %d jobs never ran", len(s.pending))
+	}
+	res := &Result{Jobs: s.all}
+	for _, j := range s.all {
+		if j.HaltedAt > res.Makespan {
+			res.Makespan = j.HaltedAt
+		}
+		if j.Curve != nil && j.Curve.At(j.Cores) > 0 {
+			res.WeightedSp += j.Curve.At(j.Cores)
+		}
+	}
+	return res, nil
+}
+
+func (s *Scheduler) freeCount() int {
+	n := 0
+	for _, ok := range s.free {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// takeCores removes k free cores (lowest IDs first) from the pool.
+func (s *Scheduler) takeCores(k int) []int {
+	var ids []int
+	for c := 0; c < compose.NumCores && len(ids) < k; c++ {
+		if s.free[c] {
+			ids = append(ids, c)
+			s.free[c] = false
+		}
+	}
+	return ids
+}
+
+func (s *Scheduler) placeJobs() {
+	// Largest-demand first reduces fragmentation.
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		return s.policy(s.pending[i], compose.NumCores) > s.policy(s.pending[j], compose.NumCores)
+	})
+	var waiting []*Job
+	for _, j := range s.pending {
+		k := s.policy(j, s.freeCount())
+		if k < 1 {
+			waiting = append(waiting, j)
+			continue
+		}
+		cores := s.takeCores(k)
+		proc, err := s.chip.AddProc(compose.Processor{Cores: cores}, j.Prog)
+		if err != nil {
+			// Return the cores and retry later.
+			for _, c := range cores {
+				s.free[c] = true
+			}
+			waiting = append(waiting, j)
+			continue
+		}
+		if j.Init != nil {
+			j.Init(&proc.Regs, proc.Mem)
+		}
+		j.Cores = k
+		j.StartedAt = s.chip.Now()
+		s.running[proc] = j
+	}
+	s.pending = waiting
+}
+
+func (s *Scheduler) onHalt(p *sim.Proc) {
+	j, ok := s.running[p]
+	if !ok {
+		return
+	}
+	delete(s.running, p)
+	j.Done = true
+	j.HaltedAt = p.Stats.Cycles
+	j.Stats = p.Stats
+	for _, c := range p.Cores() {
+		s.free[c] = true
+	}
+	s.placeJobs()
+}

@@ -1,0 +1,483 @@
+package sim
+
+import (
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/mem"
+	"github.com/clp-sim/tflex/internal/predictor"
+)
+
+type phase int
+
+const (
+	phaseExecuting phase = iota
+	phaseComplete
+	phaseCommitting
+)
+
+type instStatus uint8
+
+const (
+	stWaiting instStatus = iota
+	stIssued
+	stSquashed
+	stDead
+)
+
+type tslot struct {
+	need bool
+	got  bool
+	val  uint64
+	at   uint64
+	rem  int
+}
+
+type instTS struct {
+	status  instStatus
+	left    tslot
+	right   tslot
+	pred    tslot
+	predOK  bool
+	avail   bool
+	availAt uint64
+}
+
+type readWaiter struct {
+	b       *IFB
+	readIdx int
+	t       uint64
+}
+
+type wslot struct {
+	rem      int
+	resolved bool
+	has      bool
+	val      uint64
+	bankAt   uint64
+	waiters  []readWaiter
+}
+
+type firedStore struct {
+	key  mem.MemKey
+	addr uint64
+	size uint8
+	val  uint64
+}
+
+// IFB is one in-flight block on a logical processor.
+type IFB struct {
+	p     *Proc
+	blk   *isa.Block
+	seq   uint64
+	owner int // participating-core index
+
+	specNext  bool
+	pred      predictor.Prediction
+	fetchHist predictor.History
+
+	insts []instTS
+	wr    []wslot
+
+	stores         []firedStore
+	storeDone      [isa.MaxMemOps]bool // store LSIDs resolved (stored or nulled)
+	maxLSID        int8
+	loads          int
+	fired          int
+	useful         int
+	outputsPending int
+	completeAt     uint64
+	branchDone     bool
+	actual         exec.BranchOut
+	dead           bool
+	phase          phase
+	deallocDone    bool
+	deallocAt      uint64
+
+	// Fetch timing records (Figure 9a).
+	tHandOff    uint64
+	constLat    uint64
+	handOffLat  uint64
+	bcastLat    uint64
+	dispatchLat uint64
+	icacheStall uint64
+}
+
+func newIFB(p *Proc, blk *isa.Block, seq uint64, owner int, hist predictor.History) *IFB {
+	b := &IFB{
+		p: p, blk: blk, seq: seq, owner: owner, fetchHist: hist,
+		insts: make([]instTS, len(blk.Insts)),
+		wr:    make([]wslot, len(blk.Writes)),
+	}
+	b.outputsPending = len(blk.Writes) + blk.NumStores + 1 // + branch
+
+	bump := func(t isa.Target) {
+		switch t.Kind {
+		case isa.TargetWrite:
+			b.wr[t.Index].rem++
+		case isa.TargetLeft:
+			b.insts[t.Index].left.rem++
+		case isa.TargetRight:
+			b.insts[t.Index].right.rem++
+		case isa.TargetPred:
+			b.insts[t.Index].pred.rem++
+		}
+	}
+	for _, rd := range blk.Reads {
+		for _, t := range rd.Targets {
+			bump(t)
+		}
+	}
+	for i := range blk.Insts {
+		for _, t := range blk.Insts[i].Targets {
+			bump(t)
+		}
+	}
+	for i := range blk.Insts {
+		in := &blk.Insts[i]
+		st := &b.insts[i]
+		n := in.Op.NumOperands()
+		st.left.need = n >= 1
+		st.right.need = n >= 2 && !(in.HasImm && !in.Op.IsMem())
+		st.pred.need = in.Pred != isa.PredNone
+		if in.Op.IsMem() && in.LSID+1 > b.maxLSID {
+			b.maxLSID = in.LSID + 1
+		}
+	}
+	return b
+}
+
+// writeSlotOf returns the write-slot index for reg, if the block writes it.
+func (b *IFB) writeSlotOf(reg uint8) (int, bool) {
+	for i := range b.blk.Writes {
+		if b.blk.Writes[i].Reg == reg {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// instCoreIdx returns the participating-core index executing instruction id.
+func (b *IFB) instCoreIdx(id int) int { return compose.InstCore(id, b.p.n) }
+
+// deliver processes one operand/write arrival (or dead token) at cycle t.
+func (p *Proc) deliver(b *IFB, target isa.Target, val uint64, dead bool, fromIdx int, t uint64) {
+	if b.dead {
+		return
+	}
+	if target.Kind == isa.TargetWrite {
+		p.deliverWrite(b, int(target.Index), val, dead, fromIdx, t)
+		return
+	}
+	idx := int(target.Index)
+	st := &b.insts[idx]
+	var slot *tslot
+	switch target.Kind {
+	case isa.TargetLeft:
+		slot = &st.left
+	case isa.TargetRight:
+		slot = &st.right
+	case isa.TargetPred:
+		slot = &st.pred
+	}
+	slot.rem--
+	if dead {
+		if slot.rem == 0 && !slot.got && st.status == stWaiting {
+			p.kill(b, idx, stDead, t)
+		}
+		return
+	}
+	if st.status != stWaiting {
+		return // late arrival at squashed/dead instruction
+	}
+	if slot.got {
+		p.chip.fail("proc %d block %s inst %d: two values at one operand", p.id, b.blk.Name, idx)
+		return
+	}
+	slot.got, slot.val, slot.at = true, val, t
+	if target.Kind == isa.TargetPred {
+		if !exec.PredMatches(b.blk.Insts[idx].Pred, val) {
+			p.kill(b, idx, stSquashed, t)
+			return
+		}
+		st.predOK = true
+	}
+	p.maybeIssue(b, idx)
+}
+
+// deliverWrite resolves a register write slot with a value or dead token.
+func (p *Proc) deliverWrite(b *IFB, wi int, val uint64, dead bool, fromIdx int, t uint64) {
+	w := &b.wr[wi]
+	w.rem--
+	reg := b.blk.Writes[wi].Reg
+	if !dead {
+		if w.has {
+			p.chip.fail("proc %d block %s: two values at write slot %d", p.id, b.blk.Name, wi)
+			return
+		}
+		bank := p.regBankIdx(reg)
+		w.has = true
+		w.val = val
+		w.bankAt = p.opnSend(fromIdx, bank, t)
+		w.resolved = true
+		p.serveWriteWaiters(b, wi, w.bankAt)
+		arr := p.ctlSend(bank, b.owner, w.bankAt)
+		p.outputDone(b, arr)
+		return
+	}
+	if w.rem == 0 && !w.has && !w.resolved {
+		// Null write: all producers squashed/dead; the register keeps its
+		// old value.
+		w.resolved = true
+		p.serveWriteWaiters(b, wi, t)
+		bank := p.regBankIdx(reg)
+		arr := p.ctlSend(bank, b.owner, t)
+		p.outputDone(b, arr)
+	}
+}
+
+func (p *Proc) serveWriteWaiters(b *IFB, wi int, t uint64) {
+	w := &b.wr[wi]
+	waiters := w.waiters
+	w.waiters = nil
+	for _, wt := range waiters {
+		if wt.b.dead {
+			continue
+		}
+		at := wt.t
+		if t > at {
+			at = t
+		}
+		p.resolveRead(wt.b, wt.readIdx, at)
+	}
+}
+
+// kill squashes or deadens an instruction and propagates dead tokens.
+func (p *Proc) kill(b *IFB, idx int, status instStatus, t uint64) {
+	st := &b.insts[idx]
+	if st.status != stWaiting {
+		return
+	}
+	st.status = status
+	in := &b.blk.Insts[idx]
+	if in.Op == isa.OpStore {
+		p.resolveStoreSlot(b, in.LSID, t, true)
+	}
+	if in.Op == isa.OpNull && in.NullLSID >= 0 {
+		p.resolveStoreSlot(b, in.NullLSID, t, true)
+	}
+	for _, tg := range in.Targets {
+		p.deliver(b, tg, 0, true, b.instCoreIdx(idx), t)
+	}
+}
+
+// resolveStoreSlot marks a store LSID retired (stored, nulled, or dead).
+// deadArm distinguishes the squashed arm of a predicated store pair, which
+// only retires the slot when its partner is also unable to fire — the live
+// arm's firing resolves the slot normally first.
+func (p *Proc) resolveStoreSlot(b *IFB, lsid int8, t uint64, deadArm bool) {
+	if b.storeDone[lsid] {
+		return
+	}
+	if deadArm {
+		// Retire only if no live instruction can still resolve this slot.
+		for i := range b.blk.Insts {
+			in := &b.blk.Insts[i]
+			covers := (in.Op == isa.OpStore && in.LSID == lsid) ||
+				(in.Op == isa.OpNull && in.NullLSID == lsid)
+			if covers && (b.insts[i].status == stWaiting || b.insts[i].status == stIssued) {
+				return
+			}
+		}
+	}
+	b.storeDone[lsid] = true
+	arr := p.ctlSend(b.instCoreIdxForLSID(lsid), b.owner, t)
+	p.outputDone(b, arr)
+	p.retryDeferredLoads()
+}
+
+func (b *IFB) instCoreIdxForLSID(lsid int8) int {
+	for i := range b.blk.Insts {
+		in := &b.blk.Insts[i]
+		if in.Op.IsMem() && in.LSID == lsid {
+			return b.instCoreIdx(i)
+		}
+	}
+	return b.owner
+}
+
+// maybeIssue checks readiness and books an issue slot.
+func (p *Proc) maybeIssue(b *IFB, idx int) {
+	st := &b.insts[idx]
+	if st.status != stWaiting || !st.avail {
+		return
+	}
+	if st.left.need && !st.left.got {
+		return
+	}
+	if st.right.need && !st.right.got {
+		return
+	}
+	if st.pred.need && !st.predOK {
+		return
+	}
+	in := &b.blk.Insts[idx]
+	readyAt := st.availAt
+	for _, s := range []*tslot{&st.left, &st.right, &st.pred} {
+		if s.need && s.at > readyAt {
+			readyAt = s.at
+		}
+	}
+	st.status = stIssued
+	coreIdx := b.instCoreIdx(idx)
+	issueAt := p.chip.issue[p.phys(coreIdx)].reserve(readyAt, in.Op.IsFP())
+	p.executeInst(b, idx, issueAt)
+}
+
+// executeInst computes an issued instruction's result and schedules its
+// effects.
+func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
+	in := &b.blk.Insts[idx]
+	st := &b.insts[idx]
+	coreIdx := b.instCoreIdx(idx)
+	b.fired++
+	p.Stats.InstsFired++
+	p.Stats.IssuedByCore[coreIdx]++
+	if in.Op.IsFP() {
+		p.Stats.FPFired++
+	}
+
+	switch {
+	case in.Op == isa.OpLoad:
+		addr := st.left.val + uint64(in.Imm)
+		if addr%uint64(in.MemSize) != 0 {
+			p.chip.fail("proc %d block %s inst %d: misaligned %d-byte load at %#x",
+				p.id, b.blk.Name, idx, in.MemSize, addr)
+			return
+		}
+		b.useful++
+		agenDone := issueAt + 1
+		bank := p.dataBankIdx(addr)
+		arr := p.opnSend(coreIdx, bank, agenDone)
+		p.chip.schedule(arr, func() { p.loadAtBank(b, idx, addr, p.chip.Now()) })
+
+	case in.Op == isa.OpStore:
+		addr := st.left.val + uint64(in.Imm)
+		if addr%uint64(in.MemSize) != 0 {
+			p.chip.fail("proc %d block %s inst %d: misaligned %d-byte store at %#x",
+				p.id, b.blk.Name, idx, in.MemSize, addr)
+			return
+		}
+		b.useful++
+		val := st.right.val
+		agenDone := issueAt + 1
+		bank := p.dataBankIdx(addr)
+		arr := p.opnSend(coreIdx, bank, agenDone)
+		p.chip.schedule(arr, func() { p.storeAtBank(b, idx, addr, val, p.chip.Now()) })
+
+	case in.Op == isa.OpNull:
+		done := issueAt + 1
+		if in.NullLSID >= 0 {
+			lsid := in.NullLSID
+			p.chip.schedule(done, func() {
+				if b.dead {
+					return
+				}
+				p.resolveStoreSlot(b, lsid, p.chip.Now(), false)
+			})
+		}
+		for _, tg := range in.Targets {
+			p.scheduleDeadToken(b, tg, coreIdx, done)
+		}
+
+	case in.Op.IsBranch():
+		b.useful++
+		done := issueAt + uint64(p.chip.Opts.Params.IntLat)
+		out := exec.BranchOut{Op: in.Op, Exit: in.Exit}
+		switch in.Op {
+		case isa.OpBro, isa.OpCallo:
+			tgt, ok := p.prog.BranchTarget(in)
+			if !ok {
+				p.chip.fail("proc %d: unresolved branch target %q", p.id, in.BranchTo)
+				return
+			}
+			out.Target = tgt
+		case isa.OpRet:
+			out.Target = st.left.val
+		}
+		arr := p.ctlSend(coreIdx, b.owner, done)
+		p.chip.schedule(arr, func() { p.branchResolved(b, out, p.chip.Now()) })
+
+	default:
+		val := exec.EvalALU(in, st.left.val, st.right.val)
+		lat := p.chip.Opts.opLatency(in.Op.IsFP(),
+			in.Op == isa.OpMul, in.Op == isa.OpDiv || in.Op == isa.OpDivU ||
+				in.Op == isa.OpMod || in.Op == isa.OpFDiv || in.Op == isa.OpFSqrt)
+		done := issueAt + lat
+		if in.Op != isa.OpMov {
+			b.useful++
+		}
+		for _, tg := range in.Targets {
+			p.scheduleDelivery(b, tg, val, coreIdx, done)
+		}
+	}
+}
+
+func (p *Proc) scheduleDelivery(b *IFB, tg isa.Target, val uint64, fromIdx int, t uint64) {
+	toIdx := fromIdx
+	if tg.Kind != isa.TargetWrite {
+		toIdx = b.instCoreIdx(int(tg.Index))
+	}
+	arr := t
+	if toIdx != fromIdx {
+		arr = p.opnSend(fromIdx, toIdx, t)
+	}
+	p.chip.schedule(arr, func() { p.deliver(b, tg, val, false, fromIdx, p.chip.Now()) })
+}
+
+func (p *Proc) scheduleDeadToken(b *IFB, tg isa.Target, fromIdx int, t uint64) {
+	p.chip.schedule(t, func() { p.deliver(b, tg, 0, true, fromIdx, p.chip.Now()) })
+}
+
+// resolveRead finds the architectural or forwarded value of a register
+// read: the youngest older in-flight block writing the register, else the
+// committed register file (paper: register files are address-interleaved
+// banks of the composed register file).
+func (p *Proc) resolveRead(b *IFB, ri int, t uint64) {
+	if b.dead {
+		return
+	}
+	reg := b.blk.Reads[ri].Reg
+	pos := p.indexOf(b)
+	for j := pos - 1; j >= 0; j-- {
+		a := p.window[j]
+		slot, ok := a.writeSlotOf(reg)
+		if !ok {
+			continue
+		}
+		w := &a.wr[slot]
+		if !w.resolved {
+			w.waiters = append(w.waiters, readWaiter{b: b, readIdx: ri, t: t})
+			return
+		}
+		if w.has {
+			at := t
+			if w.bankAt > at {
+				at = w.bankAt
+			}
+			p.deliverRead(b, ri, w.val, at)
+			return
+		}
+		// Null write: keep walking older blocks.
+	}
+	p.deliverRead(b, ri, p.Regs[reg], t)
+}
+
+func (p *Proc) deliverRead(b *IFB, ri int, val uint64, t uint64) {
+	rd := &b.blk.Reads[ri]
+	bank := p.regBankIdx(rd.Reg)
+	p.Stats.RegReads++
+	for _, tg := range rd.Targets {
+		p.scheduleDelivery(b, tg, val, bank, t)
+	}
+}

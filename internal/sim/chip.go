@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/mem"
+	"github.com/clp-sim/tflex/internal/noc"
+	"github.com/clp-sim/tflex/internal/prog"
+)
+
+// Chip is the simulated 32-core CLP with its networks, private L1 D-caches
+// and the shared L2/DRAM hierarchy.  One or more logical processors
+// (composed from disjoint core sets) run concurrently on it.
+type Chip struct {
+	Opts Options
+
+	Opn  *noc.Mesh // operand network
+	Ctl  *noc.Mesh // control network (fetch/commit protocols)
+	L2   *mem.L2
+	DRAM *mem.DRAM
+
+	l1d     [compose.NumCores]*mem.Cache
+	l1dPort [compose.NumCores]port
+	issue   [compose.NumCores]*issueRing
+
+	Procs []*Proc
+
+	events   eventQueue
+	eventSeq uint64
+	now      uint64
+	err      error
+
+	onHalt func(*Proc)
+}
+
+// OnProcHalt installs a hook invoked (inside the event loop) whenever a
+// processor halts.  The hook may add new processors to the chip — the
+// mechanism run-time schedulers use to launch queued jobs on freed cores.
+func (c *Chip) OnProcHalt(fn func(*Proc)) { c.onHalt = fn }
+
+// New builds a chip with the given options.
+func New(opts Options) *Chip {
+	p := opts.Params
+	c := &Chip{Opts: opts}
+	c.Opn = noc.NewMesh(compose.ArrayW, compose.ArrayH, p.OperandBW)
+	c.Ctl = noc.NewMesh(compose.ArrayW, compose.ArrayH, p.ControlBW)
+	c.DRAM = mem.NewDRAM(uint64(p.DRAMCycles), 2, 4)
+	c.L2 = mem.NewL2(p.L2Bytes, p.L2Assoc, p.LineBytes, 32, uint64(p.L2HitMin), uint64(p.L2HitMax), c.DRAM)
+	c.L2.SetDirectory(c)
+	for i := range c.l1d {
+		c.l1d[i] = mem.NewCache(p.L1DBytes, p.L1DAssoc, p.LineBytes)
+		c.issue[i] = newIssueRing(p.IssueTotal, p.IssueFP)
+	}
+	heap.Init(&c.events)
+	return c
+}
+
+// Now returns the current simulation cycle.
+func (c *Chip) Now() uint64 { return c.now }
+
+func (c *Chip) schedule(at uint64, fn func()) {
+	if at < c.now {
+		at = c.now
+	}
+	c.eventSeq++
+	c.events.push(event{at: at, seq: c.eventSeq, fn: fn})
+}
+
+func (c *Chip) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("sim: "+format, args...)
+	}
+}
+
+// InvalidateL1 implements mem.L1Directory.
+func (c *Chip) InvalidateL1(core int, addr uint64) (found, dirty bool) {
+	return c.l1d[core].Invalidate(addr)
+}
+
+// DowngradeL1 implements mem.L1Directory.
+func (c *Chip) DowngradeL1(core int, addr uint64) bool {
+	if l := c.l1d[core].Probe(addr); l != nil && l.Valid {
+		l.Dirty = false
+		return true
+	}
+	return false
+}
+
+// L1DStats sums the D-cache statistics across all cores.
+func (c *Chip) L1DStats() mem.CacheStats {
+	var s mem.CacheStats
+	for i := range c.l1d {
+		cs := c.l1d[i].Stats
+		s.Accesses += cs.Accesses
+		s.Misses += cs.Misses
+		s.Evictions += cs.Evictions
+		s.DirtyEvicts += cs.DirtyEvicts
+		s.Invalidates += cs.Invalidates
+	}
+	return s
+}
+
+// AddProc composes a logical processor from the given cores and loads a
+// program onto it with a fresh architectural memory.
+func (c *Chip) AddProc(cores compose.Processor, program *prog.Program) (*Proc, error) {
+	if err := cores.Validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range c.Procs {
+		for _, pc := range p.cores {
+			for _, nc := range cores.Cores {
+				if pc == nc && !p.halted {
+					return nil, fmt.Errorf("sim: core %d already in use", pc)
+				}
+			}
+		}
+	}
+	pr := newProc(c, len(c.Procs), cores.Cores, program, exec.NewPageMem())
+	c.Procs = append(c.Procs, pr)
+	pr.start()
+	return pr, nil
+}
+
+// AddProcShared composes a logical processor that shares the architectural
+// memory (and physical address space) of a finished processor — the
+// recomposition scenario: the same thread resumed on a different core set,
+// finding its working set in the old cores' L1s via the directory.
+func (c *Chip) AddProcShared(cores compose.Processor, program *prog.Program, from *Proc) (*Proc, error) {
+	if err := cores.Validate(); err != nil {
+		return nil, err
+	}
+	pr := newProc(c, from.id, cores.Cores, program, from.Mem)
+	pr.Regs = from.Regs
+	c.Procs = append(c.Procs, pr)
+	pr.start()
+	return pr, nil
+}
+
+// Run executes events until every processor halts, the cycle limit is
+// exceeded, or the model faults.
+func (c *Chip) Run(maxCycles uint64) error {
+	for !c.events.empty() {
+		if c.err != nil {
+			return c.err
+		}
+		e := c.events.popMin()
+		if e.at > maxCycles {
+			return fmt.Errorf("sim: exceeded %d cycles (running: %s)", maxCycles, c.runningProcs())
+		}
+		c.now = e.at
+		e.fn()
+	}
+	if c.err != nil {
+		return c.err
+	}
+	for _, p := range c.Procs {
+		if !p.halted {
+			return fmt.Errorf("sim: deadlock: processor %d stalled at cycle %d (%s)", p.id, c.now, p.describeStall())
+		}
+	}
+	return nil
+}
+
+func (c *Chip) runningProcs() string {
+	s := ""
+	for _, p := range c.Procs {
+		if !p.halted {
+			if s != "" {
+				s += ","
+			}
+			s += fmt.Sprintf("proc%d", p.id)
+		}
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled simulator action.
+type event struct {
+	at  uint64
+	seq uint64 // insertion order: deterministic tie-break
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)  { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)    { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any      { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *eventQueue) peek() *event  { return &(*q)[0] }
+func (q *eventQueue) empty() bool   { return len(*q) == 0 }
+func (q *eventQueue) push(e event)  { heap.Push(q, e) }
+func (q *eventQueue) popMin() event { return heap.Pop(q).(event) }
+
+// issueRing books per-core issue slots: at most capTotal instructions per
+// cycle, of which at most capFP may be floating point.
+type issueRing struct {
+	base     uint64
+	total    []uint8
+	fp       []uint8
+	capTotal uint8
+	capFP    uint8
+}
+
+const issueHorizon = 4096
+
+func newIssueRing(capTotal, capFP int) *issueRing {
+	return &issueRing{
+		total:    make([]uint8, issueHorizon),
+		fp:       make([]uint8, issueHorizon),
+		capTotal: uint8(capTotal),
+		capFP:    uint8(capFP),
+	}
+}
+
+// reserve books the earliest issue slot at or after t.
+func (r *issueRing) reserve(t uint64, isFP bool) uint64 {
+	if t < r.base {
+		t = r.base
+	}
+	for {
+		if t >= r.base+issueHorizon {
+			for i := range r.total {
+				r.total[i] = 0
+				r.fp[i] = 0
+			}
+			r.base = t
+		}
+		i := (t - r.base) % issueHorizon
+		if r.total[i] < r.capTotal && (!isFP || r.fp[i] < r.capFP) {
+			r.total[i]++
+			if isFP {
+				r.fp[i]++
+			}
+			return t
+		}
+		t++
+	}
+}
+
+// port books a resource accepting one request per interval cycles.
+type port struct{ nextFree uint64 }
+
+func (p *port) reserve(t uint64, interval uint64) uint64 {
+	if t < p.nextFree {
+		t = p.nextFree
+	}
+	p.nextFree = t + interval
+	return t
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/prog"
+)
+
+func TestBlockTraceObservesLifecycle(t *testing.T) {
+	p := sumProgram(t)
+	chip := New(DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 30
+	var events []BlockEvent
+	proc.TraceBlocks(func(ev BlockEvent) { events = append(events, ev) })
+	if err := chip.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	committed, flushed := 0, 0
+	var lastSeq uint64
+	for _, ev := range events {
+		if ev.Flushed {
+			flushed++
+		} else {
+			committed++
+			if ev.RetiredAt < ev.FetchedAt {
+				t.Fatalf("block %d retired before fetch", ev.Seq)
+			}
+			if ev.Seq < lastSeq {
+				t.Fatal("commits out of order in trace")
+			}
+			lastSeq = ev.Seq
+		}
+	}
+	if uint64(committed) != proc.Stats.BlocksCommitted {
+		t.Fatalf("trace saw %d commits, stats say %d", committed, proc.Stats.BlocksCommitted)
+	}
+	if uint64(flushed) != proc.Stats.BlocksFlushed {
+		t.Fatalf("trace saw %d flushes, stats say %d", flushed, proc.Stats.BlocksFlushed)
+	}
+}
+
+// lsqThrasher builds a program whose in-flight blocks aim many memory
+// operations at one cache line, overflowing a 44-entry LSQ bank.
+func lsqThrasher(t testing.TB) *prog.Program {
+	b := prog.NewBuilder()
+	bb := b.Block("loop")
+	base := bb.Read(1)
+	// 24 loads + 4 stores, all within one 64-byte line -> one bank.
+	var acc prog.Ref
+	for k := int64(0); k < 24; k++ {
+		v := bb.Load(base, (k%8)*8, 8, false)
+		if k == 0 {
+			acc = v
+		} else {
+			acc = bb.Add(acc, v)
+		}
+	}
+	for k := int64(0); k < 4; k++ {
+		bb.Store(base, acc, k*8, 8)
+	}
+	bb.Write(3, acc)
+	i2 := bb.AddI(bb.Read(2), 1)
+	bb.Write(2, i2)
+	bb.BranchIf(bb.OpI(isa.OpLt, i2, 60), "loop", "done")
+	b.Block("done").Halt()
+	return b.MustProgram("loop")
+}
+
+func TestLSQOverflowNACKsAndRecovers(t *testing.T) {
+	p := lsqThrasher(t)
+	chip := New(DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 16), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 0x700000
+	if err := chip.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// With 16 blocks in flight x 28 same-line ops, the single bank (44
+	// entries) must have NACKed, and the run must still complete.
+	if proc.Stats.LSQNACKs == 0 {
+		t.Fatal("expected LSQ NACKs under same-bank pressure")
+	}
+	if proc.Stats.BlocksCommitted != 61 {
+		t.Fatalf("blocks committed = %d", proc.Stats.BlocksCommitted)
+	}
+}
+
+func TestWorstCaseLSQAvoidsNACKs(t *testing.T) {
+	p := lsqThrasher(t)
+	opts := DefaultOptions()
+	opts.Params.LSQEntries = 2048
+	chip := New(opts)
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 16), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 0x700000
+	if err := chip.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Stats.LSQNACKs != 0 {
+		t.Fatalf("worst-case-sized LSQ should never NACK, got %d", proc.Stats.LSQNACKs)
+	}
+}
+
+func TestArbitraryCompositionSizes(t *testing.T) {
+	// Compositions that are not powers of two still run correctly (the
+	// paper: "any point in between").
+	p := sumProgram(t)
+	for _, cores := range [][]int{{0, 1, 2}, {4, 5, 6, 7, 8}, {0, 3, 12, 15, 16, 19, 28}} {
+		chip := New(DefaultOptions())
+		proc, err := chip.AddProc(compose.Processor{Cores: cores}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc.Regs[1] = 40
+		if err := chip.Run(10_000_000); err != nil {
+			t.Fatalf("n=%d: %v", len(cores), err)
+		}
+		if proc.Regs[3] != 40*39/2 {
+			t.Fatalf("n=%d: sum=%d", len(cores), proc.Regs[3])
+		}
+	}
+}
+
+func TestViolationMemoDefersReplays(t *testing.T) {
+	// The violation program triggers one flush; the memoized load then
+	// waits, so a second violation on the same (block, load) is rare.
+	p := violationProgram(t)
+	chip := New(DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 8), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 0x200000
+	proc.Regs[2] = 9
+	if err := chip.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Stats.ViolationFlushes > 2 {
+		t.Fatalf("violation replays not damped: %d flushes", proc.Stats.ViolationFlushes)
+	}
+	if len(proc.violMemo) == 0 && proc.Stats.ViolationFlushes > 0 {
+		t.Fatal("violating load was not memoized")
+	}
+}
+
+func TestStatsIPC(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+	s.Cycles = 100
+	s.InstsCommitted = 250
+	if s.IPC() != 2.5 {
+		t.Fatalf("IPC = %v", s.IPC())
+	}
+}
+
+func TestDeadlockDetectionReportsBadBranch(t *testing.T) {
+	// A program whose only branch returns to a non-block address must be
+	// reported as a stall, not loop forever.
+	b := prog.NewBuilder()
+	bb := b.Block("m")
+	bogus := bb.Const(0x99999999)
+	bb.Ret(bogus)
+	p, err := b.Program("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := New(DefaultOptions())
+	if _, err := chip.AddProc(compose.MustRect(0, 0, 2), p); err != nil {
+		t.Fatal(err)
+	}
+	err = chip.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+}
+
+func TestUtilizationProfile(t *testing.T) {
+	p := sumProgram(t)
+	chip := New(DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 50
+	if err := chip.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	util := proc.Stats.Utilization()
+	if len(util) != 4 {
+		t.Fatalf("utilization for %d cores", len(util))
+	}
+	var total uint64
+	for _, n := range proc.Stats.IssuedByCore {
+		total += n
+	}
+	if total != proc.Stats.InstsFired {
+		t.Fatalf("per-core issue counts (%d) != fired (%d)", total, proc.Stats.InstsFired)
+	}
+	for c, u := range util {
+		if u < 0 || u > 2.0 {
+			t.Fatalf("core %d utilization %.2f outside dual-issue bound", c, u)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/mem"
+)
+
+// The memory path (paper §4.5): an executed load/store routes its address
+// (and data) to the owning L1 D-cache/LSQ bank.  Loads execute
+// speculatively: a later-arriving older store that overlaps triggers a
+// dependence-violation flush from the offending load's block.  Loads that
+// have violated once are memoized and thereafter wait for all older stores
+// to resolve (a coarse dependence predictor), which guarantees forward
+// progress.  Bank-full conditions NACK the request, which retries after a
+// backoff (the Sethumadhavan LSQ-overflow mechanism).
+
+func (p *Proc) memKey(b *IFB, idx int) mem.MemKey {
+	return mem.MemKey{BlockSeq: b.seq, LSID: b.blk.Insts[idx].LSID}
+}
+
+func (p *Proc) violMemoKey(b *IFB, idx int) uint64 {
+	return b.blk.Addr<<8 | uint64(idx)
+}
+
+// loadAtBank services a load whose address has arrived at its bank.
+func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
+	if b.dead {
+		return
+	}
+	in := &b.blk.Insts[idx]
+	key := p.memKey(b, idx)
+
+	// Memoized violators wait for older stores (dependence prediction).
+	if p.violMemo[p.violMemoKey(b, idx)] && !p.olderStoresResolved(b, in.LSID) {
+		p.deferred = append(p.deferred, deferredLoad{b: b, idx: idx, addr: addr, t: t})
+		return
+	}
+
+	bank := p.lsqBankOf(addr)
+	ok, _ := bank.Insert(mem.LSQEntry{Key: key, Addr: addr, Size: in.MemSize})
+	if !ok {
+		p.Stats.LSQNACKs++
+		p.relieveLSQPressure(b, t)
+		retry := t + p.chip.Opts.NACKRetryCycles
+		p.chip.schedule(retry, func() { p.loadAtBank(b, idx, addr, p.chip.Now()) })
+		return
+	}
+
+	bankIdx := p.dataBankIdx(addr)
+	physCore := p.phys(bankIdx)
+	svc := p.chip.l1dPort[physCore].reserve(t, 1)
+
+	var dataAt uint64
+	if bank.ForwardFrom(key, addr, in.MemSize) {
+		dataAt = svc + 1 // store-to-load forwarding out of the LSQ
+	} else {
+		pa := p.physAddr(addr)
+		cache := p.chip.l1d[physCore]
+		if line, hit := cache.Access(pa, svc); hit {
+			dataAt = svc + uint64(p.chip.Opts.Params.L1DHitCycles)
+			if line.FillAt > dataAt {
+				dataAt = line.FillAt
+			}
+		} else {
+			fill := p.chip.L2.Read(physCore, pa, svc+uint64(p.chip.Opts.Params.L1DHitCycles))
+			victim, evicted := cache.Fill(pa, fill)
+			if evicted {
+				p.writeBackVictim(physCore, victim)
+			}
+			dataAt = fill
+		}
+	}
+
+	// The architectural value: committed memory overlaid with all older
+	// in-flight stores fired so far.  Any older store that fires later
+	// and overlaps will flush this block, so the value is consistent.
+	val := p.loadValue(b, key, addr, int(in.MemSize), in.MemSigned)
+	b.loads++
+	for _, tg := range in.Targets {
+		p.scheduleDelivery(b, tg, val, bankIdx, dataAt)
+	}
+}
+
+// storeAtBank services a store whose address and data have arrived.
+func (p *Proc) storeAtBank(b *IFB, idx int, addr uint64, val uint64, t uint64) {
+	if b.dead {
+		return
+	}
+	in := &b.blk.Insts[idx]
+	key := p.memKey(b, idx)
+	bank := p.lsqBankOf(addr)
+	ok, violations := bank.Insert(mem.LSQEntry{Key: key, Store: true, Addr: addr, Size: in.MemSize})
+	if !ok {
+		p.Stats.LSQNACKs++
+		p.relieveLSQPressure(b, t)
+		retry := t + p.chip.Opts.NACKRetryCycles
+		p.chip.schedule(retry, func() { p.storeAtBank(b, idx, addr, val, p.chip.Now()) })
+		return
+	}
+
+	if len(violations) > 0 {
+		// Flush from the oldest violating load's block and refetch it.
+		minSeq := violations[0].BlockSeq
+		for _, v := range violations {
+			if v.BlockSeq < minSeq {
+				minSeq = v.BlockSeq
+			}
+			// Memoize the violating loads so replays wait.
+			if vb := p.blockBySeq(v.BlockSeq); vb != nil {
+				for i := range vb.blk.Insts {
+					mi := &vb.blk.Insts[i]
+					if mi.Op == isa.OpLoad && mi.LSID == v.LSID {
+						p.violMemo[p.violMemoKey(vb, i)] = true
+					}
+				}
+			}
+		}
+		p.Stats.ViolationFlushes++
+		victim := p.blockBySeq(minSeq)
+		if victim != nil {
+			restart := victim.blk.Addr
+			hist := victim.fetchHist
+			p.flushFrom(minSeq, restart, hist, t)
+			// The store's own block may have been flushed (same-block
+			// violation); if so its entry was removed with the flush.
+			if b.dead {
+				return
+			}
+			if minSeq <= b.seq {
+				return
+			}
+		}
+	}
+
+	bankIdx := p.dataBankIdx(addr)
+	physCore := p.phys(bankIdx)
+	svc := p.chip.l1dPort[physCore].reserve(t, 1)
+
+	b.stores = append(b.stores, firedStore{key: key, addr: addr, size: in.MemSize, val: val})
+	p.resolveStoreSlot(b, in.LSID, svc+1, false)
+	p.retryDeferredLoads()
+}
+
+// relieveLSQPressure guarantees forward progress under LSQ overflow: when
+// a NACKed operation belongs to the oldest in-flight block, the younger
+// blocks (whose entries are filling the bank but which cannot commit
+// before the oldest) are flushed and refetched — the overflow-handling
+// flush of the NACK mechanism (Sethumadhavan et al.).
+func (p *Proc) relieveLSQPressure(b *IFB, t uint64) {
+	if len(p.window) < 2 || p.window[0] != b {
+		return
+	}
+	w1 := p.window[1]
+	if w1.phase == phaseCommitting {
+		return
+	}
+	p.Stats.LSQOverflowFlushes++
+	p.flushFrom(w1.seq, w1.blk.Addr, w1.fetchHist, t)
+}
+
+// blockBySeq finds an in-flight block by sequence number.
+func (p *Proc) blockBySeq(seq uint64) *IFB {
+	for _, b := range p.window {
+		if b.seq == seq {
+			return b
+		}
+	}
+	return nil
+}
+
+// loadValue computes the architectural value of a load: committed memory
+// overlaid with every older fired store (older blocks' stores plus
+// same-block stores with lower LSIDs), applied in program order.
+func (p *Proc) loadValue(b *IFB, key mem.MemKey, addr uint64, size int, signed bool) uint64 {
+	buf := make([]byte, size)
+	base := p.Mem.Load(addr, size, false)
+	for i := 0; i < size; i++ {
+		buf[i] = byte(base >> (8 * i))
+	}
+	apply := func(s *firedStore) {
+		for bb := 0; bb < int(s.size); bb++ {
+			off := int64(s.addr) + int64(bb) - int64(addr)
+			if off >= 0 && off < int64(size) {
+				buf[off] = byte(s.val >> (8 * bb))
+			}
+		}
+	}
+	// Window blocks are ordered oldest-first, and within a block stores
+	// are overlaid in LSID order.
+	for _, w := range p.window {
+		if w.seq > key.BlockSeq {
+			break
+		}
+		for lsid := int8(0); lsid < w.maxLSID; lsid++ {
+			for si := range w.stores {
+				s := &w.stores[si]
+				if s.key.LSID != lsid {
+					continue
+				}
+				if s.key.Less(key) {
+					apply(s)
+				}
+			}
+		}
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	if signed {
+		shift := 64 - 8*size
+		v = uint64(int64(v<<uint(shift)) >> uint(shift))
+	}
+	return v
+}
+
+// olderStoresResolved reports whether every store slot older than (b,
+// lsid) in program order has been resolved.
+func (p *Proc) olderStoresResolved(b *IFB, lsid int8) bool {
+	for _, w := range p.window {
+		if w.seq > b.seq {
+			break
+		}
+		limit := w.maxLSID
+		if w.seq == b.seq {
+			limit = lsid
+		}
+		for id := int8(0); id < limit; id++ {
+			if p.blockHasStoreSlot(w, id) && !w.storeDone[id] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Proc) blockHasStoreSlot(b *IFB, lsid int8) bool {
+	for i := range b.blk.Insts {
+		in := &b.blk.Insts[i]
+		if (in.Op == isa.OpStore && in.LSID == lsid) || (in.Op == isa.OpNull && in.NullLSID == lsid) {
+			return true
+		}
+	}
+	return false
+}
+
+// retryDeferredLoads re-attempts memoized loads whose ordering constraints
+// may have cleared.
+func (p *Proc) retryDeferredLoads() {
+	if len(p.deferred) == 0 {
+		return
+	}
+	pending := p.deferred
+	p.deferred = nil
+	for _, d := range pending {
+		if d.b.dead {
+			continue
+		}
+		in := &d.b.blk.Insts[d.idx]
+		if p.olderStoresResolved(d.b, in.LSID) {
+			b, idx, addr := d.b, d.idx, d.addr
+			p.chip.schedule(p.chip.Now(), func() { p.loadAtBank(b, idx, addr, p.chip.Now()) })
+		} else {
+			p.deferred = append(p.deferred, d)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/prog"
+)
+
+// fibProgram builds a genuinely recursive fib(n) with a software stack in
+// memory: each activation pushes its link register and argument, calls
+// itself twice, and returns through OpRet — deep, data-dependent call
+// chains that stress the distributed return-address stack (deeper than
+// the 16-entry-per-core RAS, forcing underflows and repairs).
+//
+// Registers: r1 = stack pointer, r2 = argument n, r3 = return value,
+// r4 = link register.
+func fibProgram(t testing.TB) *prog.Program {
+	b := prog.NewBuilder()
+
+	// fib entry: if n < 2 return n.
+	fib := b.Block("fib")
+	n := fib.Read(2)
+	base := fib.OpI(isa.OpLt, n, 2)
+	fib.When(base).Write(3, fib.Mov(n))
+	g := fib.When(base).GuardValue()
+	fib.BranchIf(g, "fib_ret_base", "fib_push")
+
+	retBase := b.Block("fib_ret_base")
+	retBase.Ret(retBase.Read(4))
+
+	// Push frame {link, n}, call fib(n-1).
+	push := b.Block("fib_push")
+	sp := push.Read(1)
+	push.Store(sp, push.Read(4), 0, 8)
+	push.Store(sp, push.Read(2), 8, 8)
+	push.Write(1, push.AddI(sp, 16))
+	push.Write(2, push.AddI(push.Read(2), -1))
+	push.Write(4, push.LabelAddr("fib_mid"))
+	push.Call("fib")
+
+	// After fib(n-1): stash result, call fib(n-2).
+	mid := b.Block("fib_mid")
+	spm := mid.Read(1)
+	nOrig := mid.Load(spm, -8, 8, false)
+	mid.Store(spm, mid.Read(3), -8, 8) // overwrite saved n with fib(n-1)
+	mid.Write(2, mid.AddI(nOrig, -2))
+	mid.Write(4, mid.LabelAddr("fib_join"))
+	mid.Call("fib")
+
+	// Join: pop frame, return fib(n-1) + fib(n-2).
+	join := b.Block("fib_join")
+	spj := join.Read(1)
+	f1 := join.Load(spj, -8, 8, false)
+	link := join.Load(spj, -16, 8, false)
+	join.Write(3, join.Add(f1, join.Read(3)))
+	join.Write(1, join.AddI(spj, -16))
+	join.Ret(link)
+
+	main := b.Block("main")
+	main.Write(4, main.LabelAddr("fin"))
+	main.Branch("fib")
+	b.Block("fin").Halt()
+
+	p, err := b.Program("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecursiveFibAllCompositions(t *testing.T) {
+	p := fibProgram(t)
+	const arg = 13 // 753 activations, depth 13
+	ref := exec.NewMachine(p)
+	ref.Regs[1] = 0x800000
+	ref.Regs[2] = arg
+	st, err := ref.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Regs[3] != 233 { // fib(13)
+		t.Fatalf("functional fib(13) = %d", ref.Regs[3])
+	}
+	t.Logf("functional: %d blocks", st.Blocks)
+
+	for _, nCores := range []int{1, 2, 8, 32} {
+		chip := New(DefaultOptions())
+		proc, err := chip.AddProc(compose.MustRect(0, 0, nCores), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc.Regs[1] = 0x800000
+		proc.Regs[2] = arg
+		if err := chip.Run(100_000_000); err != nil {
+			t.Fatalf("n=%d: %v", nCores, err)
+		}
+		if proc.Regs[3] != ref.Regs[3] {
+			t.Fatalf("n=%d: fib = %d, want %d", nCores, proc.Regs[3], ref.Regs[3])
+		}
+		if nCores > 1 && proc.Pred.Stats.RASPops == 0 {
+			t.Errorf("n=%d: recursion without RAS activity", nCores)
+		}
+	}
+}
+
+func TestRecursionDeeperThanRAS(t *testing.T) {
+	// A single-core composition has only a 16-entry logical RAS; fib(16)
+	// recurses to depth 16 with 3193 activations, overflowing and
+	// underflowing the stack repeatedly.  The RAS is only a predictor:
+	// the architectural link values must keep the run correct.
+	p := fibProgram(t)
+	chip := New(DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 0x800000
+	proc.Regs[2] = 16
+	if err := chip.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Regs[3] != 987 { // fib(16)
+		t.Fatalf("fib(16) = %d", proc.Regs[3])
+	}
+}

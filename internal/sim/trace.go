@@ -1,0 +1,49 @@
+package sim
+
+// Block-lifecycle tracing: an optional per-processor hook that observes
+// every block's journey through the distributed pipeline — the tool used
+// to debug the protocols and to visualize occupancy.
+
+// BlockEvent records the lifetime of one dynamic block.
+type BlockEvent struct {
+	Seq       uint64
+	Name      string
+	Addr      uint64
+	Owner     int // participating-core index
+	FetchedAt uint64
+	// CompleteAt is when the owner detected completion (0 if flushed
+	// before completing).
+	CompleteAt uint64
+	// RetiredAt is the deallocation time for committed blocks, or the
+	// flush time for squashed ones.
+	RetiredAt uint64
+	Flushed   bool
+	// Useful counts committed useful instructions (0 for flushed blocks).
+	Useful int
+}
+
+// TraceBlocks installs a block-retirement observer.  The hook runs inside
+// the simulation loop; it must not call back into the simulator.
+func (p *Proc) TraceBlocks(fn func(BlockEvent)) { p.blockTrace = fn }
+
+func (p *Proc) emitBlockEvent(b *IFB, retiredAt uint64, flushed bool) {
+	if p.blockTrace == nil {
+		return
+	}
+	ev := BlockEvent{
+		Seq:       b.seq,
+		Name:      b.blk.Name,
+		Addr:      b.blk.Addr,
+		Owner:     b.owner,
+		FetchedAt: b.tHandOff,
+		RetiredAt: retiredAt,
+		Flushed:   flushed,
+	}
+	if b.phase != phaseExecuting || b.outputsPending == 0 {
+		ev.CompleteAt = b.completeAt
+	}
+	if !flushed {
+		ev.Useful = b.useful
+	}
+	p.blockTrace(ev)
+}

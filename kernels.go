@@ -1,0 +1,59 @@
+package tflex
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/kernels"
+)
+
+// Kernel is one benchmark of the built-in 26-kernel suite (the paper's
+// workload mix: hand-optimized, EEMBC-style, Versabench-style and
+// SPEC-CPU-style kernels).
+type Kernel = kernels.Kernel
+
+// KernelInstance is a runnable kernel: program, input setup, and an
+// output check against the Go reference implementation.
+type KernelInstance = kernels.Instance
+
+// Kernels returns the paper's 26-benchmark suite.
+func Kernels() []Kernel { return kernels.All() }
+
+// KernelExtras returns the extension kernels beyond the paper's suite
+// (the Livermore loops); they run through the same validation.
+func KernelExtras() []Kernel { return kernels.Extras() }
+
+// KernelNames lists the suite's benchmark names.
+func KernelNames() []string { return kernels.Names() }
+
+// BuildKernel instantiates a named kernel at the given input scale.
+func BuildKernel(name string, scale int) (*KernelInstance, error) {
+	k, ok := kernels.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("tflex: unknown kernel %q (see KernelNames)", name)
+	}
+	return k.Build(scale)
+}
+
+// RunKernel builds and runs a named kernel on the given configuration,
+// validating its outputs against the reference implementation.
+func RunKernel(name string, scale int, cfg RunConfig) (*Result, error) {
+	inst, err := BuildKernel(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	init := cfg.Init
+	cfg.Init = func(regs *[128]uint64, mem *Memory) {
+		inst.Init(regs, mem)
+		if init != nil {
+			init(regs, mem)
+		}
+	}
+	res, err := Run(inst.Prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Check(&res.Regs, res.Mem); err != nil {
+		return nil, fmt.Errorf("tflex: %s output validation failed: %w", name, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,235 @@
+// Package tflex is the public API of the TFlex composable-lightweight-
+// processor (CLP) simulator, a from-scratch reproduction of
+// "Composable Lightweight Processors" (MICRO 2007).
+//
+// A CLP is a chip of simple, narrow-issue cores that can be aggregated
+// dynamically into larger single-threaded processors without recompiling
+// the application.  The simulator models the TFlex microarchitecture: an
+// EDGE (Explicit Data Graph Execution) block-atomic ISA, fully distributed
+// fetch/prediction/execution/memory/commit protocols over a mesh
+// interconnect, a composable next-block predictor, address-interleaved L1
+// caches and LSQ banks with NACK overflow handling, a shared S-NUCA L2
+// with directory coherence, and area/power models.
+//
+// Quick start:
+//
+//	b := tflex.NewBuilder()
+//	bb := b.Block("loop")
+//	i := bb.Read(2)
+//	bb.Write(3, bb.Add(bb.Read(3), i))
+//	i2 := bb.AddI(i, 1)
+//	bb.Write(2, i2)
+//	bb.BranchIf(bb.OpI(tflex.OpLt, i2, 100), "loop", "done")
+//	b.Block("done").Halt()
+//	program := b.MustProgram("loop")
+//
+//	res, err := tflex.Run(program, tflex.RunConfig{Cores: 8})
+//
+// The same binary runs unmodified on any composition from 1 to 32 cores.
+package tflex
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/prog"
+	"github.com/clp-sim/tflex/internal/sim"
+	"github.com/clp-sim/tflex/internal/trips"
+)
+
+// Core ISA and program-construction types.
+type (
+	// Program is a laid-out EDGE block program.
+	Program = prog.Program
+	// Builder constructs programs block by block.
+	Builder = prog.Builder
+	// BlockBuilder emits dataflow into one block.
+	BlockBuilder = prog.BlockBuilder
+	// Ref is an SSA-style value reference inside a block.
+	Ref = prog.Ref
+	// Opcode is an EDGE operation.
+	Opcode = isa.Opcode
+	// Block is one EDGE code block.
+	Block = isa.Block
+
+	// Processor describes a composed logical processor's core set.
+	Processor = compose.Processor
+	// CoreParams are the per-core microarchitectural parameters (Table 1).
+	CoreParams = compose.CoreParams
+	// Options configure the chip model.
+	Options = sim.Options
+	// Chip is the simulated 32-core CLP.
+	Chip = sim.Chip
+	// Proc is one running logical processor.
+	Proc = sim.Proc
+	// Stats are per-processor simulation statistics.
+	Stats = sim.Stats
+	// Memory is the byte-addressable architectural memory.
+	Memory = exec.PageMem
+	// Machine executes programs architecturally (no timing).
+	Machine = exec.Machine
+	// BlockEvent records one dynamic block's pipeline lifetime.
+	BlockEvent = sim.BlockEvent
+)
+
+// Commonly used opcodes, re-exported for program construction.
+const (
+	OpAdd  = isa.OpAdd
+	OpSub  = isa.OpSub
+	OpMul  = isa.OpMul
+	OpDiv  = isa.OpDiv
+	OpDivU = isa.OpDivU
+	OpMod  = isa.OpMod
+	OpAnd  = isa.OpAnd
+	OpOr   = isa.OpOr
+	OpXor  = isa.OpXor
+	OpShl  = isa.OpShl
+	OpShr  = isa.OpShr
+	OpSra  = isa.OpSra
+	OpEq   = isa.OpEq
+	OpNe   = isa.OpNe
+	OpLt   = isa.OpLt
+	OpLe   = isa.OpLe
+	OpLtU  = isa.OpLtU
+	OpLeU  = isa.OpLeU
+	OpFAdd = isa.OpFAdd
+	OpFSub = isa.OpFSub
+	OpFMul = isa.OpFMul
+	OpFDiv = isa.OpFDiv
+	OpFLt  = isa.OpFLt
+	OpIToF = isa.OpIToF
+	OpFToI = isa.OpFToI
+)
+
+// NumCores is the number of physical cores on the chip (a 4x8 array).
+const NumCores = compose.NumCores
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return prog.NewBuilder() }
+
+// NewMachine returns an architectural (functional) machine for a program.
+func NewMachine(p *Program) *Machine { return exec.NewMachine(p) }
+
+// NewMemory returns an empty byte-addressable memory.
+func NewMemory() *Memory { return exec.NewPageMem() }
+
+// DefaultOptions returns the TFlex configuration of the paper's Table 1.
+func DefaultOptions() Options { return sim.DefaultOptions() }
+
+// TRIPSOptions returns the fixed-granularity TRIPS baseline configuration.
+func TRIPSOptions() Options { return trips.Options() }
+
+// TRIPSProcessor returns the 16-tile TRIPS array descriptor.
+func TRIPSProcessor() Processor { return trips.Processor() }
+
+// NewChip builds a chip with the given options.
+func NewChip(opts Options) *Chip { return sim.New(opts) }
+
+// ComposeRect returns a processor composed of k cores in a rectangle at
+// array position (x, y).  Supported sizes: 1, 2, 4, 8, 16, 32.
+func ComposeRect(x, y, k int) (Processor, error) { return compose.Rect(x, y, k) }
+
+// Partition tiles the chip into nProcs processors of k cores each (the
+// fixed-CMP configurations).
+func Partition(k, nProcs int) ([]Processor, error) { return compose.Partition(k, nProcs) }
+
+// PartitionAsymmetric places processors of possibly different sizes onto
+// the core array (the asymmetric compositions of the paper's §7).
+func PartitionAsymmetric(sizes []int) ([]Processor, error) {
+	return compose.PackAsymmetric(sizes)
+}
+
+// CompositionSizes lists the rectangle composition sizes.
+func CompositionSizes() []int { return compose.Sizes() }
+
+// ComposeStrip returns a processor of k consecutive cores starting at
+// `start` — any size from 1 to 32, the paper's "any point in between".
+func ComposeStrip(start, k int) (Processor, error) { return compose.Strip(start, k) }
+
+// RunConfig configures a single-program run.
+type RunConfig struct {
+	// Cores composes a processor of this many cores (default 8).
+	Cores int
+	// TRIPS runs on the TRIPS baseline instead of a TFlex composition.
+	TRIPS bool
+	// Init seeds architectural registers and memory before the run.
+	Init func(regs *[128]uint64, mem *Memory)
+	// MaxCycles bounds the simulation (default 2e9).
+	MaxCycles uint64
+	// Options overrides the chip options (zero value: defaults).
+	Options *Options
+	// OnBlock, if set, observes every block retirement (commit or flush).
+	OnBlock func(BlockEvent)
+}
+
+// Result reports a completed run.
+type Result struct {
+	Cycles uint64
+	Stats  Stats
+	Regs   [128]uint64
+	Mem    *Memory
+}
+
+// Run executes a program on a freshly composed processor and returns its
+// statistics and final architectural state.
+func Run(p *Program, cfg RunConfig) (*Result, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	var opts Options
+	var cores Processor
+	var err error
+	switch {
+	case cfg.TRIPS:
+		opts = trips.Options()
+		cores = trips.Processor()
+	default:
+		opts = sim.DefaultOptions()
+		if cfg.Options != nil {
+			opts = *cfg.Options
+		}
+		cores, err = compose.Rect(0, 0, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+	}
+	chip := sim.New(opts)
+	proc, err := chip.AddProc(cores, p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Init != nil {
+		cfg.Init(&proc.Regs, proc.Mem)
+	}
+	if cfg.OnBlock != nil {
+		proc.TraceBlocks(cfg.OnBlock)
+	}
+	if err := chip.Run(cfg.MaxCycles); err != nil {
+		return nil, fmt.Errorf("tflex: %w", err)
+	}
+	return &Result{
+		Cycles: proc.Stats.Cycles,
+		Stats:  proc.Stats,
+		Regs:   proc.Regs,
+		Mem:    proc.Mem,
+	}, nil
+}
+
+// Verify runs the program architecturally (no timing) with the same
+// initial state and reports the final registers — the reference any
+// timing run must match.
+func Verify(p *Program, init func(regs *[128]uint64, mem *Memory)) (*Machine, error) {
+	m := exec.NewMachine(p)
+	if init != nil {
+		init(&m.Regs, m.Mem.(*exec.PageMem))
+	}
+	if _, err := m.Run(50_000_000); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
