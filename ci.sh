@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 verification gate.  Run before every commit:
+#
+#   ./ci.sh
+#
+# Checks, in order: formatting, vet, build, and the full test suite under
+# the race detector (which also exercises the concurrent experiment
+# runner and the determinism regression in internal/experiments).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all checks passed"

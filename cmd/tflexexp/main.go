@@ -3,11 +3,16 @@
 // Usage:
 //
 //	tflexexp -exp all
-//	tflexexp -exp fig6 -scale 4
+//	tflexexp -exp fig6 -scale 4 -jobs 8
 //	tflexexp -exp fig10 -workloads 20
 //
 // Experiments: table1, fig5, fig6, table2, fig7, fig8, fig9, handshake,
-// fig10, all.
+// fig10, ablations, all.
+//
+// Each experiment enqueues its full simulation job set on the concurrent
+// runner (-jobs workers, default GOMAXPROCS) and renders its tables from
+// the merged result store; the tables on stdout are byte-identical at any
+// -jobs value.  Progress and the suite summary go to stderr.
 package main
 
 import (
@@ -19,71 +24,72 @@ import (
 	"github.com/clp-sim/tflex/internal/experiments"
 )
 
+// experiment pairs a name with its runner; the explicit slice fixes the
+// -exp all execution order (a map here would follow Go's randomized map
+// iteration and shuffle the output between runs).
+type experiment struct {
+	name string
+	fn   func(*experiments.Suite) (string, error)
+}
+
+func expList(workloads int) []experiment {
+	return []experiment{
+		{"table1", func(*experiments.Suite) (string, error) { return experiments.Table1(), nil }},
+		{"fig5", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig5(); return out, err }},
+		{"fig6", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig6(); return out, err }},
+		{"table2", func(s *experiments.Suite) (string, error) { return s.Table2() }},
+		{"fig7", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig7(); return out, err }},
+		{"fig8", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig8(); return out, err }},
+		{"fig9", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig9(); return out, err }},
+		{"handshake", func(s *experiments.Suite) (string, error) { _, out, err := s.Handshake(); return out, err }},
+		{"fig10", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig10(workloads); return out, err }},
+		{"ablations", func(s *experiments.Suite) (string, error) { _, out, err := s.Ablations(8); return out, err }},
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig5, fig6, table2, fig7, fig8, fig9, handshake, fig10, ablations, all)")
 	scale := flag.Int("scale", 2, "kernel input scale")
 	workloads := flag.Int("workloads", 10, "multiprogrammed workloads per size (fig10)")
+	jobs := flag.Int("jobs", 0, "concurrent simulation jobs (<=0: GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "print per-job progress with wall-clock timing to stderr")
 	flag.Parse()
 
 	s := experiments.NewSuite(*scale)
-	run := func(name string, fn func() (string, error)) {
-		fmt.Printf("\n================ %s ================\n", strings.ToUpper(name))
-		out, err := fn()
+	s.SetJobs(*jobs)
+	if *progress {
+		s.SetProgress(os.Stderr)
+	}
+
+	run := func(e experiment) {
+		fmt.Printf("\n================ %s ================\n", strings.ToUpper(e.name))
+		out, err := e.fn(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tflexexp: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "tflexexp: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		fmt.Print(out)
 	}
 
-	all := map[string]func() (string, error){
-		"table1": func() (string, error) { return experiments.Table1(), nil },
-		"fig5": func() (string, error) {
-			_, out, err := s.Fig5()
-			return out, err
-		},
-		"fig6": func() (string, error) {
-			_, out, err := s.Fig6()
-			return out, err
-		},
-		"table2": s.Table2,
-		"fig7": func() (string, error) {
-			_, out, err := s.Fig7()
-			return out, err
-		},
-		"fig8": func() (string, error) {
-			_, out, err := s.Fig8()
-			return out, err
-		},
-		"fig9": func() (string, error) {
-			_, out, err := s.Fig9()
-			return out, err
-		},
-		"handshake": func() (string, error) {
-			_, out, err := s.Handshake()
-			return out, err
-		},
-		"fig10": func() (string, error) {
-			_, out, err := s.Fig10(*workloads)
-			return out, err
-		},
-		"ablations": func() (string, error) {
-			_, out, err := s.Ablations(8)
-			return out, err
-		},
-	}
-	order := []string{"table1", "fig5", "fig6", "table2", "fig7", "fig8", "fig9", "handshake", "fig10", "ablations"}
-
+	exps := expList(*workloads)
 	if *exp == "all" {
-		for _, name := range order {
-			run(name, all[name])
+		for _, e := range exps {
+			run(e)
 		}
+		fmt.Fprintln(os.Stderr, s.Summary())
 		return
 	}
-	fn, ok := all[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tflexexp: unknown experiment %q (want one of %s, all)\n", *exp, strings.Join(order, ", "))
-		os.Exit(2)
+	for _, e := range exps {
+		if e.name == *exp {
+			run(e)
+			fmt.Fprintln(os.Stderr, s.Summary())
+			return
+		}
 	}
-	run(*exp, fn)
+	var names []string
+	for _, e := range exps {
+		names = append(names, e.name)
+	}
+	fmt.Fprintf(os.Stderr, "tflexexp: unknown experiment %q (want one of %s, all)\n", *exp, strings.Join(names, ", "))
+	os.Exit(2)
 }

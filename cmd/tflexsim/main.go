@@ -5,6 +5,7 @@
 //
 //	tflexsim -kernel conv -cores 8
 //	tflexsim -kernel mcf -trips
+//	tflexsim -kernel conv -sweep -jobs 4
 //	tflexsim -list
 package main
 
@@ -17,6 +18,7 @@ import (
 	"strconv"
 
 	"github.com/clp-sim/tflex"
+	"github.com/clp-sim/tflex/internal/experiments"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	jsonOut := flag.Bool("json", false, "emit statistics as JSON")
 	timeline := flag.String("timeline", "", "write a per-block lifecycle CSV to this file")
+	sweep := flag.Bool("sweep", false, "run the kernel on every composition size concurrently and print the speedup curve")
+	jobs := flag.Int("jobs", 0, "concurrent simulation jobs for -sweep (<=0: GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +40,14 @@ func main() {
 				ilp = "high-ilp"
 			}
 			fmt.Printf("%-12s %-8s %s\n", k.Name, k.Suite, ilp)
+		}
+		return
+	}
+
+	if *sweep {
+		if err := runSweep(*kernel, *scale, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -105,6 +117,33 @@ func main() {
 		}
 		fmt.Println(" issued insts/cycle")
 	}
+}
+
+// runSweep fans the kernel's full composition sweep out across the
+// concurrent job engine and prints the cores -> cycles/speedup curve.
+func runSweep(kernel string, scale, jobs int) error {
+	s := experiments.NewSuite(scale)
+	s.SetJobs(jobs)
+	s.SetProgress(os.Stderr)
+	if err := s.Prefetch(s.SweepSpecs(kernel)); err != nil {
+		return err
+	}
+	fmt.Printf("%s composition sweep (scale %d): outputs validated against reference\n", kernel, scale)
+	fmt.Printf("  %6s  %12s  %8s  %6s\n", "cores", "cycles", "speedup", "IPC")
+	base, err := s.TFlexRun(kernel, 1)
+	if err != nil {
+		return err
+	}
+	for _, n := range tflex.CompositionSizes() {
+		r, err := s.TFlexRun(kernel, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %6d  %12d  %8.3f  %6.3f\n",
+			n, r.Cycles, float64(base.Cycles)/float64(r.Cycles), r.Stats.IPC())
+	}
+	fmt.Fprintln(os.Stderr, s.Summary())
+	return nil
 }
 
 // writeTimeline dumps the block lifecycle events as CSV.

@@ -1,6 +1,10 @@
 // Compose sweep: run benchmarks with different ILP characters across
 // every composition size and find the best composition per application —
 // the adaptivity argument of the paper's Figure 6.
+//
+// The full benchmark × composition-size matrix is enqueued on the
+// concurrent job engine up front (every cell is an independent
+// simulation), then the table renders from the merged result store.
 package main
 
 import (
@@ -8,10 +12,22 @@ import (
 	"log"
 
 	"github.com/clp-sim/tflex"
+	"github.com/clp-sim/tflex/internal/experiments"
+	"github.com/clp-sim/tflex/internal/runner"
 )
 
 func main() {
 	benchmarks := []string{"conv", "ct", "dither", "mcf"}
+
+	s := experiments.NewSuite(2)
+	var specs []runner.Spec
+	for _, name := range benchmarks {
+		specs = append(specs, s.SweepSpecs(name)...)
+	}
+	if err := s.Prefetch(specs); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("speedup over a single core (higher is better):")
 	fmt.Printf("%-8s", "bench")
 	for _, n := range tflex.CompositionSizes() {
@@ -20,18 +36,14 @@ func main() {
 	fmt.Printf("  %s\n", "best")
 
 	for _, name := range benchmarks {
-		var base uint64
+		curve, err := s.Speedups(name) // all cache hits after Prefetch
+		if err != nil {
+			log.Fatal(err)
+		}
 		best, bestN := 0.0, 1
 		fmt.Printf("%-8s", name)
 		for _, n := range tflex.CompositionSizes() {
-			res, err := tflex.RunKernel(name, 2, tflex.RunConfig{Cores: n})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if n == 1 {
-				base = res.Cycles
-			}
-			sp := float64(base) / float64(res.Cycles)
+			sp := curve[n]
 			if sp > best {
 				best, bestN = sp, n
 			}

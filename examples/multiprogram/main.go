@@ -10,26 +10,31 @@ import (
 
 	"github.com/clp-sim/tflex"
 	"github.com/clp-sim/tflex/internal/alloc"
+	"github.com/clp-sim/tflex/internal/experiments"
+	"github.com/clp-sim/tflex/internal/runner"
 )
 
 func main() {
 	apps := []string{"conv", "genalg", "bezier", "mcf"}
 
-	// Measure each application's cores -> speedup curve.
+	// Measure each application's cores -> speedup curve.  The profiling
+	// runs are independent simulations, so enqueue the whole matrix on
+	// the concurrent job engine and read the curves from the store.
+	s := experiments.NewSuite(1)
+	var specs []runner.Spec
+	for _, name := range apps {
+		specs = append(specs, s.SweepSpecs(name)...)
+	}
+	if err := s.Prefetch(specs); err != nil {
+		log.Fatal(err)
+	}
 	curves := make([]alloc.Curve, len(apps))
 	for i, name := range apps {
-		curves[i] = alloc.Curve{}
-		var base uint64
-		for _, n := range tflex.CompositionSizes() {
-			res, err := tflex.RunKernel(name, 1, tflex.RunConfig{Cores: n})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if n == 1 {
-				base = res.Cycles
-			}
-			curves[i][n] = float64(base) / float64(res.Cycles)
+		curve, err := s.Speedups(name)
+		if err != nil {
+			log.Fatal(err)
 		}
+		curves[i] = curve
 	}
 
 	// Symmetric CMP-8 vs the optimal asymmetric allocation.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/kernels"
+	"github.com/clp-sim/tflex/internal/runner"
 	"github.com/clp-sim/tflex/internal/sim"
 	"github.com/clp-sim/tflex/internal/stats"
 )
@@ -48,26 +49,53 @@ func ablationList() []ablation {
 	}
 }
 
+// ablationRun returns (cached) the kernel's run under the named ablation
+// at the given composition size.
+func (s *Suite) ablationRun(name, kernel string, cores int) (RunResult, error) {
+	return s.ablate.Get(sizedKey{name + "/" + kernel, cores}, func() (RunResult, error) {
+		var ab *ablation
+		for _, a := range ablationList() {
+			if a.name == name {
+				ab = &a
+				break
+			}
+		}
+		if ab == nil {
+			return RunResult{}, fmt.Errorf("unknown ablation %q", name)
+		}
+		k, ok := kernels.ByName(kernel)
+		if !ok {
+			return RunResult{}, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		inst, err := k.Build(s.Scale)
+		if err != nil {
+			return RunResult{}, err
+		}
+		opts := sim.DefaultOptions()
+		ab.mod(&opts)
+		chip := sim.New(opts)
+		r, err := runInstance(inst, chip, compose.MustRect(0, 0, cores), cores)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%s under %s: %w", kernel, name, err)
+		}
+		return r, nil
+	})
+}
+
 // Ablations runs the ablation matrix at the given composition size.
 func (s *Suite) Ablations(cores int) (AblationData, string, error) {
 	d := AblationData{Relative: map[string]float64{}}
 	t := stats.NewTable("ablation", "geomean perf vs default", "note")
 
-	variantRun := func(opts sim.Options, name string) (map[string]uint64, error) {
-		out := map[string]uint64{}
-		for _, k := range kernels.All() {
-			inst, err := k.Build(s.Scale)
-			if err != nil {
-				return nil, err
-			}
-			chip := sim.New(opts)
-			r, err := runInstance(inst, chip, compose.MustRect(0, 0, cores), cores)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", k.Name, name, err)
-			}
-			out[k.Name] = r.Cycles
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.TFlexSpec(k.Name, cores))
+		for _, ab := range ablationList() {
+			specs = append(specs, s.AblateSpec(ab.name, k.Name, cores))
 		}
-		return out, nil
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
 	}
 
 	base := map[string]uint64{}
@@ -80,15 +108,13 @@ func (s *Suite) Ablations(cores int) (AblationData, string, error) {
 	}
 
 	for _, ab := range ablationList() {
-		opts := sim.DefaultOptions()
-		ab.mod(&opts)
-		cycles, err := variantRun(opts, ab.name)
-		if err != nil {
-			return d, "", err
-		}
 		var rels []float64
-		for name, c := range cycles {
-			rels = append(rels, float64(base[name])/float64(c))
+		for _, k := range kernels.All() {
+			r, err := s.ablationRun(ab.name, k.Name, cores)
+			if err != nil {
+				return d, "", err
+			}
+			rels = append(rels, float64(base[k.Name])/float64(r.Cycles))
 		}
 		rel := stats.Geomean(rels)
 		d.Relative[ab.name] = rel

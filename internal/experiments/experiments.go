@@ -4,22 +4,43 @@
 // Figures 7 and 8), the distributed-protocol overhead analysis (Figure 9
 // and the §6.4 instantaneous-handshake ablation), and the multiprogrammed
 // weighted-speedup comparison against fixed CMPs (Figure 10).
+//
+// Every experiment is two-phase: it first enqueues its full set of
+// declarative job specs on the suite's concurrent runner (internal/runner),
+// which fans the independent cycle-level simulations out across a worker
+// pool and memoizes each result by job key; it then renders its tables
+// from the warmed store.  Because the simulator is deterministic and the
+// render phase is serial over stable kernel/size orders, the output is
+// byte-identical at any worker count (see determinism_test.go).
 package experiments
 
 import (
 	"fmt"
+	"io"
+	"strings"
+	"time"
 
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/conv"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/kernels"
 	"github.com/clp-sim/tflex/internal/power"
+	"github.com/clp-sim/tflex/internal/runner"
 	"github.com/clp-sim/tflex/internal/sim"
 	"github.com/clp-sim/tflex/internal/trips"
 )
 
 // MaxCycles bounds every simulation.
 const MaxCycles = 2_000_000_000
+
+// Machine-configuration names used in job specs.
+const (
+	cfgTFlex  = "tflex"
+	cfgTRIPS  = "trips"
+	cfgCore2  = "core2"
+	cfgZeroHS = "zero-handshake"
+	cfgAblate = "ablate:" // prefix; full config is "ablate:<name>"
+)
 
 // RunResult captures one timing-simulator run.
 type RunResult struct {
@@ -28,27 +49,154 @@ type RunResult struct {
 	Counters power.Counters
 }
 
-// Suite runs and caches the experiment simulations.
+// Suite runs and caches the experiment simulations.  All Run methods are
+// safe for concurrent use: results live in concurrency-safe memoized
+// stores, and each simulation builds its own private chip.
 type Suite struct {
 	Scale int   // kernel input scale
 	Sizes []int // TFlex composition sizes
 
-	tflex  map[string]map[int]RunResult // kernel -> cores -> result
-	tripsR map[string]RunResult
-	core2  map[string]conv.Result
-	zeroHS map[string]RunResult // 32-core zero-handshake runs
+	engine *runner.Engine
+
+	tflex  runner.Store[sizedKey, RunResult] // kernel × cores
+	tripsR runner.Store[string, RunResult]
+	core2  runner.Store[string, conv.Result]
+	zeroHS runner.Store[string, RunResult]   // 32-core zero-handshake runs
+	ablate runner.Store[sizedKey, RunResult] // ablation variants, key = {"<ablation>/<kernel>", cores}
 }
 
-// NewSuite returns a suite at the given kernel scale.
+type sizedKey struct {
+	name  string
+	cores int
+}
+
+// NewSuite returns a suite at the given kernel scale, running jobs on
+// GOMAXPROCS workers (see SetJobs).
 func NewSuite(scale int) *Suite {
-	return &Suite{
+	s := &Suite{
 		Scale:  scale,
 		Sizes:  compose.Sizes(),
-		tflex:  map[string]map[int]RunResult{},
-		tripsR: map[string]RunResult{},
-		core2:  map[string]conv.Result{},
-		zeroHS: map[string]RunResult{},
+		engine: &runner.Engine{},
 	}
+	s.engine.Exec = s.exec
+	return s
+}
+
+// SetJobs caps the number of concurrently running simulations; n <= 0
+// restores the GOMAXPROCS default.
+func (s *Suite) SetJobs(n int) { s.engine.Workers = n }
+
+// SetProgress routes per-job progress lines (completion-ordered, with
+// wall-clock timing) to w; nil silences them.
+func (s *Suite) SetProgress(w io.Writer) { s.engine.Progress = w }
+
+// exec dispatches one declarative job spec to the matching run method.
+// Results land in the memoized stores keyed by spec, so the runner's
+// merge is simply the warmed cache.
+func (s *Suite) exec(sp runner.Spec) error {
+	var err error
+	switch {
+	case sp.Config == cfgTFlex:
+		_, err = s.TFlexRun(sp.Kernel, sp.Cores)
+	case sp.Config == cfgTRIPS:
+		_, err = s.TRIPSRun(sp.Kernel)
+	case sp.Config == cfgCore2:
+		_, err = s.Core2Run(sp.Kernel)
+	case sp.Config == cfgZeroHS:
+		_, err = s.ZeroHandshakeRun(sp.Kernel)
+	case strings.HasPrefix(sp.Config, cfgAblate):
+		_, err = s.ablationRun(strings.TrimPrefix(sp.Config, cfgAblate), sp.Kernel, sp.Cores)
+	default:
+		err = fmt.Errorf("unknown job config %q", sp.Config)
+	}
+	return err
+}
+
+// Prefetch fans the job specs out across the worker pool and blocks
+// until every job has run; results are memoized in the suite's stores,
+// so subsequent Run-method calls for the same specs are cache hits.
+// Duplicate specs collapse onto one job.  All jobs run to completion;
+// the returned error is the first failure in submission order.
+func (s *Suite) Prefetch(specs []runner.Spec) error {
+	_, err := s.engine.Run(specs)
+	return err
+}
+
+// TFlexSpec is the job spec for kernel on an n-core TFlex composition.
+func (s *Suite) TFlexSpec(kernel string, cores int) runner.Spec {
+	return runner.Spec{Kernel: kernel, Config: cfgTFlex, Cores: cores, Scale: s.Scale}
+}
+
+// TRIPSSpec is the job spec for kernel on the TRIPS baseline.
+func (s *Suite) TRIPSSpec(kernel string) runner.Spec {
+	return runner.Spec{Kernel: kernel, Config: cfgTRIPS, Scale: s.Scale}
+}
+
+// Core2Spec is the job spec for kernel on the conventional-core model.
+func (s *Suite) Core2Spec(kernel string) runner.Spec {
+	return runner.Spec{Kernel: kernel, Config: cfgCore2, Scale: s.Scale}
+}
+
+// ZeroHSSpec is the job spec for kernel's 32-core zero-handshake run.
+func (s *Suite) ZeroHSSpec(kernel string) runner.Spec {
+	return runner.Spec{Kernel: kernel, Config: cfgZeroHS, Cores: 32, Scale: s.Scale}
+}
+
+// AblateSpec is the job spec for kernel under the named design ablation.
+func (s *Suite) AblateSpec(ablation, kernel string, cores int) runner.Spec {
+	return runner.Spec{Kernel: kernel, Config: cfgAblate + ablation, Cores: cores, Scale: s.Scale}
+}
+
+// SweepSpecs lists every composition size (plus the 1-core baseline
+// implied by Speedups) for one kernel.
+func (s *Suite) SweepSpecs(kernel string) []runner.Spec {
+	specs := []runner.Spec{s.TFlexSpec(kernel, 1)}
+	for _, n := range s.Sizes {
+		specs = append(specs, s.TFlexSpec(kernel, n))
+	}
+	return specs
+}
+
+// Summary aggregates suite activity: jobs run, cache hits, simulated
+// cycles and wall time — the harness-throughput numbers for BENCH_*.json.
+type Summary struct {
+	JobsRun   int           // simulations executed by the runner
+	CacheHits uint64        // store lookups served from memo
+	SimCycles uint64        // total simulated cycles across all timing runs
+	Wall      time.Duration // real elapsed time inside runner batches
+	CPUTime   time.Duration // summed per-job wall time
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("suite: %d jobs, %d cache hits, %d sim cycles, wall %.2fs (in-job %.2fs)",
+		s.JobsRun, s.CacheHits, s.SimCycles, s.Wall.Seconds(), s.CPUTime.Seconds())
+}
+
+// Summary reports cumulative runner and cache activity.
+func (s *Suite) Summary() Summary {
+	es := s.engine.Summary()
+	sum := Summary{
+		JobsRun: es.JobsRun,
+		Wall:    es.Wall,
+		CPUTime: es.CPUTime,
+	}
+	addHits := func(hits uint64) { sum.CacheHits += hits }
+	h, _ := s.tflex.Stats()
+	addHits(h)
+	h, _ = s.tripsR.Stats()
+	addHits(h)
+	h, _ = s.core2.Stats()
+	addHits(h)
+	h, _ = s.zeroHS.Stats()
+	addHits(h)
+	h, _ = s.ablate.Stats()
+	addHits(h)
+	s.tflex.Each(func(_ sizedKey, r RunResult) { sum.SimCycles += r.Cycles })
+	s.tripsR.Each(func(_ string, r RunResult) { sum.SimCycles += r.Cycles })
+	s.zeroHS.Each(func(_ string, r RunResult) { sum.SimCycles += r.Cycles })
+	s.ablate.Each(func(_ sizedKey, r RunResult) { sum.SimCycles += r.Cycles })
+	s.core2.Each(func(_ string, r conv.Result) { sum.SimCycles += r.Cycles })
+	return sum
 }
 
 func collect(chip *sim.Chip, proc *sim.Proc, cores, fpus int) RunResult {
@@ -92,110 +240,92 @@ func runInstance(inst *kernels.Instance, chip *sim.Chip, procCores compose.Proce
 
 // TFlexRun returns (cached) the kernel's run on an n-core composition.
 func (s *Suite) TFlexRun(name string, n int) (RunResult, error) {
-	if m, ok := s.tflex[name]; ok {
-		if r, ok := m[n]; ok {
-			return r, nil
+	return s.tflex.Get(sizedKey{name, n}, func() (RunResult, error) {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			return RunResult{}, fmt.Errorf("unknown kernel %q", name)
 		}
-	}
-	k, ok := kernels.ByName(name)
-	if !ok {
-		return RunResult{}, fmt.Errorf("unknown kernel %q", name)
-	}
-	inst, err := k.Build(s.Scale)
-	if err != nil {
-		return RunResult{}, err
-	}
-	chip := sim.New(sim.DefaultOptions())
-	r, err := runInstance(inst, chip, compose.MustRect(0, 0, n), n)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("%s on %d cores: %w", name, n, err)
-	}
-	if s.tflex[name] == nil {
-		s.tflex[name] = map[int]RunResult{}
-	}
-	s.tflex[name][n] = r
-	return r, nil
+		inst, err := k.Build(s.Scale)
+		if err != nil {
+			return RunResult{}, err
+		}
+		chip := sim.New(sim.DefaultOptions())
+		r, err := runInstance(inst, chip, compose.MustRect(0, 0, n), n)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%s on %d cores: %w", name, n, err)
+		}
+		return r, nil
+	})
 }
 
 // TRIPSRun returns (cached) the kernel's run on the TRIPS baseline.
 func (s *Suite) TRIPSRun(name string) (RunResult, error) {
-	if r, ok := s.tripsR[name]; ok {
+	return s.tripsR.Get(name, func() (RunResult, error) {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			return RunResult{}, fmt.Errorf("unknown kernel %q", name)
+		}
+		inst, err := k.Build(s.Scale)
+		if err != nil {
+			return RunResult{}, err
+		}
+		chip := trips.NewChip()
+		r, err := runInstance(inst, chip, trips.Processor(), trips.NumTiles)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%s on TRIPS: %w", name, err)
+		}
+		// Clock-tree power scales with latch counts (paper §6.3): the TRIPS
+		// processor's tiles carry roughly the latch count of 8 TFlex cores,
+		// plus one FPU per execution tile (twice the FPUs of an equal-width
+		// TFlex composition — the paper's idle-FPU asymmetry).
+		r.Counters.Cores = 8
+		r.Counters.FPUs = trips.NumTiles
 		return r, nil
-	}
-	k, ok := kernels.ByName(name)
-	if !ok {
-		return RunResult{}, fmt.Errorf("unknown kernel %q", name)
-	}
-	inst, err := k.Build(s.Scale)
-	if err != nil {
-		return RunResult{}, err
-	}
-	chip := trips.NewChip()
-	r, err := runInstance(inst, chip, trips.Processor(), trips.NumTiles)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("%s on TRIPS: %w", name, err)
-	}
-	// Clock-tree power scales with latch counts (paper §6.3): the TRIPS
-	// processor's tiles carry roughly the latch count of 8 TFlex cores,
-	// plus one FPU per execution tile (twice the FPUs of an equal-width
-	// TFlex composition — the paper's idle-FPU asymmetry).
-	r.Counters.Cores = 8
-	r.Counters.FPUs = trips.NumTiles
-	s.tripsR[name] = r
-	return r, nil
+	})
 }
 
 // Core2Run returns (cached) the kernel's run on the conventional
 // superscalar model, via the linearized functional trace.
 func (s *Suite) Core2Run(name string) (conv.Result, error) {
-	if r, ok := s.core2[name]; ok {
-		return r, nil
-	}
-	k, ok := kernels.ByName(name)
-	if !ok {
-		return conv.Result{}, fmt.Errorf("unknown kernel %q", name)
-	}
-	inst, err := k.Build(s.Scale)
-	if err != nil {
-		return conv.Result{}, err
-	}
-	m := exec.NewMachine(inst.Prog)
-	m.Trace = &exec.Trace{}
-	inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
-	if _, err := m.Run(50_000_000); err != nil {
-		return conv.Result{}, err
-	}
-	if err := inst.Check(&m.Regs, m.Mem.(*exec.PageMem)); err != nil {
-		return conv.Result{}, err
-	}
-	r := conv.Run(m.Trace.Entries, conv.DefaultConfig())
-	s.core2[name] = r
-	return r, nil
+	return s.core2.Get(name, func() (conv.Result, error) {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			return conv.Result{}, fmt.Errorf("unknown kernel %q", name)
+		}
+		inst, err := k.Build(s.Scale)
+		if err != nil {
+			return conv.Result{}, err
+		}
+		m := exec.NewMachine(inst.Prog)
+		m.Trace = &exec.Trace{}
+		inst.Init(&m.Regs, m.Mem.(*exec.PageMem))
+		if _, err := m.Run(50_000_000); err != nil {
+			return conv.Result{}, err
+		}
+		if err := inst.Check(&m.Regs, m.Mem.(*exec.PageMem)); err != nil {
+			return conv.Result{}, err
+		}
+		return conv.Run(m.Trace.Entries, conv.DefaultConfig()), nil
+	})
 }
 
 // ZeroHandshakeRun returns the kernel's 32-core run with instantaneous
 // distributed handshakes (§6.4).
 func (s *Suite) ZeroHandshakeRun(name string) (RunResult, error) {
-	if r, ok := s.zeroHS[name]; ok {
-		return r, nil
-	}
-	k, ok := kernels.ByName(name)
-	if !ok {
-		return RunResult{}, fmt.Errorf("unknown kernel %q", name)
-	}
-	inst, err := k.Build(s.Scale)
-	if err != nil {
-		return RunResult{}, err
-	}
-	opts := sim.DefaultOptions()
-	opts.ZeroHandshake = true
-	chip := sim.New(opts)
-	r, err := runInstance(inst, chip, compose.MustRect(0, 0, 32), 32)
-	if err != nil {
-		return RunResult{}, err
-	}
-	s.zeroHS[name] = r
-	return r, nil
+	return s.zeroHS.Get(name, func() (RunResult, error) {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			return RunResult{}, fmt.Errorf("unknown kernel %q", name)
+		}
+		inst, err := k.Build(s.Scale)
+		if err != nil {
+			return RunResult{}, err
+		}
+		opts := sim.DefaultOptions()
+		opts.ZeroHandshake = true
+		chip := sim.New(opts)
+		return runInstance(inst, chip, compose.MustRect(0, 0, 32), 32)
+	})
 }
 
 // Speedups returns the kernel's cores→speedup curve relative to one core.

@@ -8,6 +8,7 @@ import (
 	"github.com/clp-sim/tflex/internal/area"
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/kernels"
+	"github.com/clp-sim/tflex/internal/runner"
 	"github.com/clp-sim/tflex/internal/stats"
 )
 
@@ -38,6 +39,13 @@ type Fig5Data struct {
 // Fig5 runs the baseline-validation comparison.
 func (s *Suite) Fig5() (Fig5Data, string, error) {
 	d := Fig5Data{Relative: map[string]float64{}, SuiteGeo: map[string]float64{}}
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.Core2Spec(k.Name), s.TRIPSSpec(k.Name))
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
+	}
 	t := stats.NewTable("benchmark", "suite", "core2-cycles", "trips-cycles", "trips/core2 perf")
 	suiteVals := map[string][]float64{}
 	for _, k := range kernels.All() {
@@ -86,6 +94,14 @@ func (s *Suite) Fig6() (Fig6Data, string, error) {
 		Best:      map[string]float64{},
 		BestSize:  map[string]int{},
 		AvgBySize: map[int]float64{},
+	}
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.SweepSpecs(k.Name)...)
+		specs = append(specs, s.TRIPSSpec(k.Name))
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
 	}
 	header := []string{"benchmark", "ilp"}
 	for _, n := range s.Sizes {
@@ -171,6 +187,13 @@ func (s *Suite) Table2() (string, error) {
 	at.Row("TRIPS processor total", area.TRIPSArea())
 
 	// Average power over the suite.
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.TFlexSpec(k.Name, 8), s.TRIPSSpec(k.Name))
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return "", err
+	}
 	var tflexW, tripsW []float64
 	var tflexSum, tripsSum [8]float64
 	n := 0
@@ -218,6 +241,14 @@ func (s *Suite) Fig7() (Fig7Data, string, error) {
 		PerKernel: map[string]map[int]float64{},
 		AvgBySize: map[int]float64{},
 		BestSizes: map[string]int{},
+	}
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.SweepSpecs(k.Name)...)
+		specs = append(specs, s.TRIPSSpec(k.Name))
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
 	}
 	header := []string{"benchmark"}
 	for _, n := range s.Sizes {
@@ -285,6 +316,14 @@ type Fig8Data struct {
 // Fig8 computes perf²/Watt across compositions and TRIPS.
 func (s *Suite) Fig8() (Fig8Data, string, error) {
 	d := Fig8Data{PerKernel: map[string]map[int]float64{}, AvgBySize: map[int]float64{}}
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.SweepSpecs(k.Name)...)
+		specs = append(specs, s.TRIPSSpec(k.Name))
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
+	}
 	header := []string{"benchmark"}
 	for _, n := range s.Sizes {
 		header = append(header, fmt.Sprintf("%dc", n))
@@ -361,6 +400,15 @@ type Fig9Data struct {
 // Fig9 decomposes the distributed protocol latencies per composition size.
 func (s *Suite) Fig9() (Fig9Data, string, error) {
 	d := Fig9Data{Fetch: map[int][5]float64{}, Commit: map[int][2]float64{}}
+	var specs []runner.Spec
+	for _, n := range s.Sizes {
+		for _, k := range kernels.All() {
+			specs = append(specs, s.TFlexSpec(k.Name, n))
+		}
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
+	}
 	ft := stats.NewTable("cores", "constant", "hand-off", "fetch-dist", "dispatch", "i-stall", "total")
 	ct := stats.NewTable("cores", "arch-update", "handshake", "total")
 	for _, n := range s.Sizes {
@@ -408,6 +456,13 @@ type HandshakeData struct {
 // Handshake runs the instantaneous-handshake ablation at 32 cores.
 func (s *Suite) Handshake() (HandshakeData, string, error) {
 	d := HandshakeData{PerApp: map[string]float64{}}
+	var specs []runner.Spec
+	for _, k := range kernels.All() {
+		specs = append(specs, s.TFlexSpec(k.Name, 32), s.ZeroHSSpec(k.Name))
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
+	}
 	t := stats.NewTable("benchmark", "normal", "zero-handshake", "gain")
 	var gains []float64
 	for _, k := range kernels.All() {
@@ -450,6 +505,13 @@ type Fig10Data struct {
 // random workloads drawn from the 12 hand-optimized benchmarks.
 func (s *Suite) Fig10(workloadsPerSize int) (Fig10Data, string, error) {
 	hand := kernels.HandOptimized()
+	var specs []runner.Spec
+	for _, k := range hand {
+		specs = append(specs, s.SweepSpecs(k.Name)...)
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return Fig10Data{}, "", err
+	}
 	curves := map[string]alloc.Curve{}
 	for _, k := range hand {
 		c, err := s.Speedups(k.Name)

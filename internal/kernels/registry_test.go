@@ -1,0 +1,50 @@
+package kernels
+
+import (
+	"sync"
+	"testing"
+)
+
+// Registering a kernel whose name is already taken must panic — a silent
+// overwrite would drop one benchmark from the suite and skew every
+// regenerated figure.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate register(conv) did not panic")
+		}
+		// Registration order must be untouched by the failed attempt.
+		if n := len(order); n != len(registry) {
+			t.Fatalf("order has %d entries, registry %d after failed register", n, len(registry))
+		}
+	}()
+	register(Kernel{Name: "conv", Suite: "hand", Build: nil})
+}
+
+// The registry/order maps are mutated only by init-time register()
+// calls; afterwards they are read-only and safe for the concurrent
+// experiment runner.  This test exercises every read path from many
+// goroutines so `go test -race` verifies that claim.
+func TestRegistryConcurrentReads(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if len(All()) != 26 {
+					t.Error("All() lost kernels")
+					return
+				}
+				if _, ok := ByName("conv"); !ok {
+					t.Error("ByName(conv) failed")
+					return
+				}
+				_ = Names()
+				_ = Extras()
+				_ = HandOptimized()
+			}
+		}()
+	}
+	wg.Wait()
+}
