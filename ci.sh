@@ -3,11 +3,25 @@
 #
 #   ./ci.sh
 #
-# Checks, in order: formatting, vet, build, and the full test suite under
-# the race detector (which also exercises the concurrent experiment
-# runner and the determinism regression in internal/experiments).
+# Checks, in order: formatting, vet, build, the full test suite under the
+# race detector (which also exercises the concurrent experiment runner,
+# the determinism regression in internal/experiments, and the
+# optimized-vs-reference engine differential), and a one-iteration smoke
+# of every benchmark so the bench harness cannot rot unnoticed.
+#
+#   ./ci.sh bench
+#
+# runs the performance harness instead: cmd/tflexbench times the Figure 6
+# job grid on the optimized and reference engines and writes the numbers
+# to BENCH_sim.json.
 set -eu
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "bench" ]; then
+    echo "== bench harness (cmd/tflexbench -> BENCH_sim.json) =="
+    go run ./cmd/tflexbench -out BENCH_sim.json
+    exit 0
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -25,5 +39,8 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "ci: all checks passed"

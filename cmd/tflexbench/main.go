@@ -1,0 +1,145 @@
+// Command tflexbench measures simulator performance and writes the
+// results to a JSON file (BENCH_sim.json at the repository root, via
+// `ci.sh bench`).
+//
+// The workload is the Figure 6 job grid — every suite kernel on every
+// TFlex composition size plus the TRIPS baseline — run twice on a single
+// goroutine: once on the default optimized engine and once on the
+// reference slow path (Options.Reference: container/heap event queue, no
+// block pooling, per-fetch decode).  Both runs simulate the exact same
+// cycles, so the wall-clock ratio isolates the engine optimizations, and
+// allocations divided by committed blocks give allocs/block for each
+// path.
+//
+// Usage:
+//
+//	tflexbench [-scale 1] [-out BENCH_sim.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/clp-sim/tflex"
+)
+
+// engineResult is one engine's measurement over the full job grid.
+type engineResult struct {
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	BlocksCommitted uint64  `json:"blocks_committed"`
+	Allocs          uint64  `json:"allocs"`
+	AllocsPerBlock  float64 `json:"allocs_per_block"`
+}
+
+// report is the BENCH_sim.json schema.
+type report struct {
+	Workload  string       `json:"workload"`
+	Scale     int          `json:"scale"`
+	Jobs      int          `json:"jobs"`
+	GoVersion string       `json:"go_version"`
+	Optimized engineResult `json:"optimized"`
+	Reference engineResult `json:"reference"`
+	Speedup   float64      `json:"speedup"`
+}
+
+// job is one simulation of the Figure 6 grid.
+type job struct {
+	kernel string
+	cores  int // 0: TRIPS baseline
+}
+
+func grid() []job {
+	var jobs []job
+	for _, k := range tflex.Kernels() {
+		for _, n := range tflex.CompositionSizes() {
+			jobs = append(jobs, job{k.Name, n})
+		}
+		jobs = append(jobs, job{k.Name, 0})
+	}
+	return jobs
+}
+
+func measure(jobs []job, scale int, reference bool) (engineResult, error) {
+	opts := tflex.DefaultOptions()
+	opts.Reference = reference
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var r engineResult
+	for _, j := range jobs {
+		cfg := tflex.RunConfig{Cores: j.cores, Options: &opts}
+		if j.cores == 0 {
+			cfg = tflex.RunConfig{TRIPS: true}
+			if reference {
+				trips := tflex.TRIPSOptions()
+				trips.Reference = true
+				cfg.Options = &trips
+			}
+		}
+		res, err := tflex.RunKernel(j.kernel, scale, cfg)
+		if err != nil {
+			return r, fmt.Errorf("%s/%dc: %w", j.kernel, j.cores, err)
+		}
+		r.SimCycles += res.Cycles
+		r.BlocksCommitted += res.Stats.BlocksCommitted
+	}
+	r.WallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	r.Allocs = m1.Mallocs - m0.Mallocs
+	r.SimCyclesPerSec = float64(r.SimCycles) / r.WallSeconds
+	r.AllocsPerBlock = float64(r.Allocs) / float64(r.BlocksCommitted)
+	return r, nil
+}
+
+func main() {
+	scale := flag.Int("scale", 1, "kernel input scale")
+	out := flag.String("out", "BENCH_sim.json", "output file")
+	flag.Parse()
+
+	jobs := grid()
+	rep := report{
+		Workload:  fmt.Sprintf("fig6 grid: %d jobs (suite kernels x composition sizes + TRIPS)", len(jobs)),
+		Scale:     *scale,
+		Jobs:      1,
+		GoVersion: runtime.Version(),
+	}
+
+	var err error
+	// Reference first so its allocation burst cannot inflate the
+	// optimized measurement's GC activity.
+	if rep.Reference, err = measure(jobs, *scale, true); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexbench: reference:", err)
+		os.Exit(1)
+	}
+	if rep.Optimized, err = measure(jobs, *scale, false); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexbench: optimized:", err)
+		os.Exit(1)
+	}
+	rep.Speedup = rep.Reference.WallSeconds / rep.Optimized.WallSeconds
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexbench:", err)
+		os.Exit(1)
+	}
+	f.Close()
+
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("  reference  %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
+		rep.Reference.WallSeconds, rep.Reference.SimCyclesPerSec, rep.Reference.AllocsPerBlock)
+	fmt.Printf("  optimized  %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
+		rep.Optimized.WallSeconds, rep.Optimized.SimCyclesPerSec, rep.Optimized.AllocsPerBlock)
+	fmt.Printf("  speedup    %.2fx\n", rep.Speedup)
+}

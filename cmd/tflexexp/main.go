@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/clp-sim/tflex/internal/experiments"
+	"github.com/clp-sim/tflex/internal/profiling"
 )
 
 // experiment pairs a name with its runner; the explicit slice fixes the
@@ -53,7 +54,16 @@ func main() {
 	workloads := flag.Int("workloads", 10, "multiprogrammed workloads per size (fig10)")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs (<=0: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-job progress with wall-clock timing to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexexp:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	s := experiments.NewSuite(*scale)
 	s.SetJobs(*jobs)

@@ -19,6 +19,7 @@ import (
 
 	"github.com/clp-sim/tflex"
 	"github.com/clp-sim/tflex/internal/experiments"
+	"github.com/clp-sim/tflex/internal/profiling"
 )
 
 func main() {
@@ -31,7 +32,16 @@ func main() {
 	timeline := flag.String("timeline", "", "write a per-block lifecycle CSV to this file")
 	sweep := flag.Bool("sweep", false, "run the kernel on every composition size concurrently and print the speedup curve")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs for -sweep (<=0: GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexsim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, k := range append(tflex.Kernels(), tflex.KernelExtras()...) {

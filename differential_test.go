@@ -1,0 +1,44 @@
+package tflex
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestOptimizedVsReferenceDifferential cross-checks the engine's default
+// hot path (typed events on the calendar queue, pooled blocks, cached
+// decode metadata) against the reference slow path (Options.Reference:
+// container/heap queue, fresh block and metadata per fetch).  The two
+// paths must produce bit-identical simulations — same cycle count, same
+// statistics, same architectural state — on every kernel and composition
+// size; any divergence is a bug in the optimizations, not a modeling
+// choice.
+func TestOptimizedVsReferenceDifferential(t *testing.T) {
+	kernels := []string{"conv", "autcor", "dither", "tblook", "mcf"}
+	for _, name := range kernels {
+		for _, cores := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/%dc", name, cores), func(t *testing.T) {
+				fast, err := RunKernel(name, 1, RunConfig{Cores: cores})
+				if err != nil {
+					t.Fatalf("optimized run: %v", err)
+				}
+				refOpts := DefaultOptions()
+				refOpts.Reference = true
+				ref, err := RunKernel(name, 1, RunConfig{Cores: cores, Options: &refOpts})
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				if fast.Cycles != ref.Cycles {
+					t.Errorf("cycles diverge: optimized %d, reference %d", fast.Cycles, ref.Cycles)
+				}
+				if !reflect.DeepEqual(fast.Stats, ref.Stats) {
+					t.Errorf("stats diverge:\noptimized %+v\nreference %+v", fast.Stats, ref.Stats)
+				}
+				if fast.Regs != ref.Regs {
+					t.Errorf("architectural registers diverge")
+				}
+			})
+		}
+	}
+}

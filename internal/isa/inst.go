@@ -107,6 +107,10 @@ type Inst struct {
 	// BranchTo names the target block of OpBro/OpCallo; resolved to an
 	// address when the program is laid out.
 	BranchTo string
+	// TargetAddr is the laid-out address of BranchTo, filled by program
+	// layout so branch execution never repeats the name lookup (0 until
+	// layout runs; block addresses are never 0).
+	TargetAddr uint64
 }
 
 // NeedsPredOperand reports whether the instruction waits for a predicate.

@@ -18,13 +18,15 @@ package noc
 const horizon = 4096
 
 type link struct {
-	base uint64 // cycle corresponding to slot 0
-	used []uint16
+	base  uint64 // earliest reservable cycle (requests clamp forward to it)
+	used  []uint16
+	stamp []uint64 // cycle+1 each slot currently describes; 0 = never used
 }
 
 func (l *link) reserve(t uint64, bw uint16) uint64 {
 	if l.used == nil {
 		l.used = make([]uint16, horizon)
+		l.stamp = make([]uint64, horizon)
 		l.base = t
 	}
 	if t < l.base {
@@ -32,13 +34,15 @@ func (l *link) reserve(t uint64, bw uint16) uint64 {
 	}
 	for {
 		if t >= l.base+horizon {
-			// Advance the window; everything before t is forgotten.
-			for i := range l.used {
-				l.used[i] = 0
-			}
+			// Advance the window; everything before t is forgotten.  Stale
+			// slots invalidate lazily via their stamps, so no bulk clear.
 			l.base = t
 		}
-		idx := (t - l.base) % horizon
+		idx := t % horizon
+		if l.stamp[idx] != t+1 {
+			l.stamp[idx] = t + 1
+			l.used[idx] = 0
+		}
 		if l.used[idx] < bw {
 			l.used[idx]++
 			return t
@@ -62,6 +66,14 @@ type Mesh struct {
 
 	links []link // [node*4 + dir]
 	stats Stats
+
+	// Multicast link-sharing scratch: crossAt[link] is the cycle the
+	// current multicast's flit finished crossing that link, valid when
+	// crossStamp[link] == crossGen.  Generation stamping makes the scratch
+	// reusable across calls without clearing or allocating.
+	crossGen   uint64
+	crossAt    []uint64
+	crossStamp []uint64
 }
 
 // Directions for link indexing.
@@ -152,14 +164,21 @@ func (m *Mesh) Latency(from, to int) uint64 { return uint64(m.Dist(from, to)) }
 // and forks at the routers, as in the TRIPS global dispatch/control
 // networks.  It returns the arrival cycle at each target (same order).
 func (m *Mesh) Multicast(from int, targets []int, start uint64) []uint64 {
-	arr := make([]uint64, len(targets))
-	// crossed[link] = cycle at which the multicast flit finished crossing
-	// that link; shared prefixes reuse the same crossing.
-	crossed := map[int]uint64{}
+	return m.MulticastInto(from, targets, start, make([]uint64, len(targets)))
+}
+
+// MulticastInto is Multicast writing arrivals into dst (which must have
+// len(targets) entries), so steady-state callers can reuse one buffer.
+func (m *Mesh) MulticastInto(from int, targets []int, start uint64, dst []uint64) []uint64 {
+	if m.crossAt == nil {
+		m.crossAt = make([]uint64, len(m.links))
+		m.crossStamp = make([]uint64, len(m.links))
+	}
+	m.crossGen++
 	first := true
 	for i, to := range targets {
 		if to == from {
-			arr[i] = start
+			dst[i] = start
 			m.stats.LocalDeliveries++
 			continue
 		}
@@ -172,11 +191,12 @@ func (m *Mesh) Multicast(from int, targets []int, start uint64) []uint64 {
 		tx, ty := m.XY(to)
 		step := func(dir, nx, ny int) {
 			li := (y*m.W+x)*4 + dir
-			if done, ok := crossed[li]; ok {
-				t = done
+			if m.crossStamp[li] == m.crossGen {
+				t = m.crossAt[li]
 			} else {
 				t = m.links[li].reserve(t, m.BW) + 1
-				crossed[li] = t
+				m.crossStamp[li] = m.crossGen
+				m.crossAt[li] = t
 				m.stats.Hops++
 			}
 			x, y = nx, ny
@@ -195,9 +215,9 @@ func (m *Mesh) Multicast(from int, targets []int, start uint64) []uint64 {
 				step(dirN, x, y-1)
 			}
 		}
-		arr[i] = t
+		dst[i] = t
 	}
-	return arr
+	return dst
 }
 
 // Broadcast sends one message from `from` to each node in targets,

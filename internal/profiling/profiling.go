@@ -1,0 +1,50 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the
+// command-line tools to runtime/pprof.  The resulting profiles feed the
+// optimization workflow documented in the README: profile a
+// representative run, find the hottest frame, fix it, re-measure with
+// `ci.sh bench`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpu is non-empty) and returns a stop
+// function that finishes the CPU profile and writes the allocation
+// profile (if mem is non-empty).  The stop function must run before the
+// process exits for the profiles to be complete; commands defer it on
+// their success path, so profiles of failed runs may be truncated.
+func Start(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so inuse_* is accurate
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

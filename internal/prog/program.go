@@ -29,8 +29,35 @@ type Program struct {
 // Lookup returns the block with the given name, or nil.
 func (p *Program) Lookup(name string) *isa.Block { return p.byName[name] }
 
-// BlockAt returns the block at the given address, or nil.
-func (p *Program) BlockAt(addr uint64) *isa.Block { return p.byAddr[addr] }
+// BlockAt returns the block at the given address, or nil.  Layout places
+// blocks contiguously from CodeBase, so the lookup is a bounds check and
+// an index — this sits on the simulator's per-fetch hot path.
+func (p *Program) BlockAt(addr uint64) *isa.Block {
+	if i := p.BlockIndex(addr); i >= 0 {
+		return p.Blocks[i]
+	}
+	return p.byAddr[addr] // pre-layout or non-contiguous programs
+}
+
+// BlockIndex returns the dense index of the block at addr under the
+// contiguous layout, or -1 if addr is not a laid-out block address.
+func (p *Program) BlockIndex(addr uint64) int {
+	if addr < CodeBase {
+		return -1
+	}
+	off := addr - CodeBase
+	if off%uint64(isa.BlockBytes) != 0 {
+		return -1
+	}
+	i := off / uint64(isa.BlockBytes)
+	if i >= uint64(len(p.Blocks)) || p.Blocks[i].Addr != addr {
+		return -1
+	}
+	return int(i)
+}
+
+// NumBlocks returns the number of laid-out blocks.
+func (p *Program) NumBlocks() int { return len(p.Blocks) }
 
 // EntryBlock returns the entry block.
 func (p *Program) EntryBlock() *isa.Block { return p.byName[p.Entry] }
@@ -73,6 +100,7 @@ func (p *Program) layout() error {
 			if !ok {
 				return fmt.Errorf("prog: block %s references undefined label %q", b.Name, in.BranchTo)
 			}
+			in.TargetAddr = tgt.Addr
 			if in.Op == isa.OpGenC {
 				// Label constant: materialize the target address.
 				in.Imm = int64(tgt.Addr)
@@ -90,6 +118,9 @@ func (p *Program) layout() error {
 func (p *Program) BranchTarget(in *isa.Inst) (uint64, bool) {
 	switch in.Op {
 	case isa.OpBro, isa.OpCallo:
+		if in.TargetAddr != 0 {
+			return in.TargetAddr, true
+		}
 		b := p.byName[in.BranchTo]
 		if b == nil {
 			return 0, false

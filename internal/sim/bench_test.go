@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+)
+
+// Microbenchmarks of the two engine hot paths this package optimizes: the
+// event queue and the block fetch→execute→commit pipeline.  Each has a
+// *Reference companion running the container/heap queue and the
+// non-pooled block lifecycle (Options.Reference), so
+//
+//	go test -bench 'EventQueue|BlockPipeline' -benchtime 100x ./internal/sim
+//
+// prints the optimized and unoptimized costs side by side, with
+// allocations per operation.
+
+// benchEventQueue drives a queue through a steady-state churn resembling
+// the simulator's: a resident population of in-flight events, each pop
+// scheduling a successor a short latency ahead, with an occasional
+// far-future event that exercises the calendar queue's overflow heap
+// (offsets beyond the 1024-cycle window).
+func benchEventQueue(b *testing.B, push func(event), popMin func() event) {
+	offsets := [...]uint64{1, 1, 2, 3, 5, 8, 17, 150, 1500}
+	var seq uint64
+	for i := 0; i < 64; i++ {
+		seq++
+		push(event{at: uint64(i % 8), seq: seq})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := popMin()
+		seq++
+		push(event{at: e.at + offsets[i%len(offsets)], seq: seq})
+	}
+}
+
+func BenchmarkEventQueueCalendar(b *testing.B) {
+	q := &calQueue{}
+	benchEventQueue(b, q.push, q.popMin)
+}
+
+func BenchmarkEventQueueReference(b *testing.B) {
+	q := &eventQueue{}
+	benchEventQueue(b, q.push, q.popMin)
+}
+
+// benchBlockPipeline runs a register-pressure-free sum loop end to end on
+// a fresh 4-core composition per iteration: every block goes through
+// fetch, dispatch, operand delivery, issue, branch resolution and the
+// distributed commit protocol.  blocks/op makes allocs-per-block a direct
+// read-off against the reported allocs/op.
+func benchBlockPipeline(b *testing.B, reference bool) {
+	p := sumProgram(b)
+	opts := DefaultOptions()
+	opts.Reference = reference
+	var blocks uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip := New(opts)
+		proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proc.Regs[1] = 500
+		if err := chip.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		blocks += proc.Stats.BlocksCommitted
+	}
+	b.ReportMetric(float64(blocks)/float64(b.N), "blocks/op")
+}
+
+func BenchmarkBlockPipeline(b *testing.B)          { benchBlockPipeline(b, false) }
+func BenchmarkBlockPipelineReference(b *testing.B) { benchBlockPipeline(b, true) }

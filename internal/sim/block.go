@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
@@ -45,9 +44,13 @@ type instTS struct {
 
 type readWaiter struct {
 	b       *IFB
+	gen     uint32 // b's generation when the wait was filed
 	readIdx int
 	t       uint64
 }
+
+// live reports whether the waiter's block is still the one that filed it.
+func (w *readWaiter) live() bool { return w.b.gen == w.gen && !w.b.dead }
 
 type wslot struct {
 	rem      int
@@ -65,12 +68,19 @@ type firedStore struct {
 	val  uint64
 }
 
-// IFB is one in-flight block on a logical processor.
+var branchOutZero exec.BranchOut
+
+// IFB is one in-flight block on a logical processor.  IFBs are pooled:
+// a retired block's storage is recycled for a later fetch, with gen
+// incremented so stale events referencing the old incarnation are inert
+// (see resetIFB for the full reset contract).
 type IFB struct {
 	p     *Proc
+	meta  *blockMeta
 	blk   *isa.Block
 	seq   uint64
-	owner int // participating-core index
+	gen   uint32 // incremented on release to the pool
+	owner int    // participating-core index
 
 	specNext  bool
 	pred      predictor.Prediction
@@ -103,62 +113,16 @@ type IFB struct {
 	icacheStall uint64
 }
 
-func newIFB(p *Proc, blk *isa.Block, seq uint64, owner int, hist predictor.History) *IFB {
-	b := &IFB{
-		p: p, blk: blk, seq: seq, owner: owner, fetchHist: hist,
-		insts: make([]instTS, len(blk.Insts)),
-		wr:    make([]wslot, len(blk.Writes)),
-	}
-	b.outputsPending = len(blk.Writes) + blk.NumStores + 1 // + branch
-
-	bump := func(t isa.Target) {
-		switch t.Kind {
-		case isa.TargetWrite:
-			b.wr[t.Index].rem++
-		case isa.TargetLeft:
-			b.insts[t.Index].left.rem++
-		case isa.TargetRight:
-			b.insts[t.Index].right.rem++
-		case isa.TargetPred:
-			b.insts[t.Index].pred.rem++
-		}
-	}
-	for _, rd := range blk.Reads {
-		for _, t := range rd.Targets {
-			bump(t)
-		}
-	}
-	for i := range blk.Insts {
-		for _, t := range blk.Insts[i].Targets {
-			bump(t)
-		}
-	}
-	for i := range blk.Insts {
-		in := &blk.Insts[i]
-		st := &b.insts[i]
-		n := in.Op.NumOperands()
-		st.left.need = n >= 1
-		st.right.need = n >= 2 && !(in.HasImm && !in.Op.IsMem())
-		st.pred.need = in.Pred != isa.PredNone
-		if in.Op.IsMem() && in.LSID+1 > b.maxLSID {
-			b.maxLSID = in.LSID + 1
-		}
-	}
-	return b
-}
-
 // writeSlotOf returns the write-slot index for reg, if the block writes it.
 func (b *IFB) writeSlotOf(reg uint8) (int, bool) {
-	for i := range b.blk.Writes {
-		if b.blk.Writes[i].Reg == reg {
-			return i, true
-		}
+	if s := b.meta.regSlot[reg]; s >= 0 {
+		return int(s), true
 	}
 	return -1, false
 }
 
 // instCoreIdx returns the participating-core index executing instruction id.
-func (b *IFB) instCoreIdx(id int) int { return compose.InstCore(id, b.p.n) }
+func (b *IFB) instCoreIdx(id int) int { return int(b.meta.instCore[id]) }
 
 // deliver processes one operand/write arrival (or dead token) at cycle t.
 func (p *Proc) deliver(b *IFB, target isa.Target, val uint64, dead bool, fromIdx int, t uint64) {
@@ -240,8 +204,9 @@ func (p *Proc) serveWriteWaiters(b *IFB, wi int, t uint64) {
 	w := &b.wr[wi]
 	waiters := w.waiters
 	w.waiters = nil
-	for _, wt := range waiters {
-		if wt.b.dead {
+	for i := range waiters {
+		wt := &waiters[i]
+		if !wt.live() {
 			continue
 		}
 		at := wt.t
@@ -281,29 +246,16 @@ func (p *Proc) resolveStoreSlot(b *IFB, lsid int8, t uint64, deadArm bool) {
 	}
 	if deadArm {
 		// Retire only if no live instruction can still resolve this slot.
-		for i := range b.blk.Insts {
-			in := &b.blk.Insts[i]
-			covers := (in.Op == isa.OpStore && in.LSID == lsid) ||
-				(in.Op == isa.OpNull && in.NullLSID == lsid)
-			if covers && (b.insts[i].status == stWaiting || b.insts[i].status == stIssued) {
+		for _, i := range b.meta.lsidCover[lsid] {
+			if s := b.insts[i].status; s == stWaiting || s == stIssued {
 				return
 			}
 		}
 	}
 	b.storeDone[lsid] = true
-	arr := p.ctlSend(b.instCoreIdxForLSID(lsid), b.owner, t)
+	arr := p.ctlSend(int(b.meta.lsidCore[lsid]), b.owner, t)
 	p.outputDone(b, arr)
 	p.retryDeferredLoads()
-}
-
-func (b *IFB) instCoreIdxForLSID(lsid int8) int {
-	for i := range b.blk.Insts {
-		in := &b.blk.Insts[i]
-		if in.Op.IsMem() && in.LSID == lsid {
-			return b.instCoreIdx(i)
-		}
-	}
-	return b.owner
 }
 
 // maybeIssue checks readiness and books an issue slot.
@@ -323,14 +275,18 @@ func (p *Proc) maybeIssue(b *IFB, idx int) {
 	}
 	in := &b.blk.Insts[idx]
 	readyAt := st.availAt
-	for _, s := range []*tslot{&st.left, &st.right, &st.pred} {
-		if s.need && s.at > readyAt {
-			readyAt = s.at
-		}
+	if st.left.need && st.left.at > readyAt {
+		readyAt = st.left.at
+	}
+	if st.right.need && st.right.at > readyAt {
+		readyAt = st.right.at
+	}
+	if st.pred.need && st.pred.at > readyAt {
+		readyAt = st.pred.at
 	}
 	st.status = stIssued
 	coreIdx := b.instCoreIdx(idx)
-	issueAt := p.chip.issue[p.phys(coreIdx)].reserve(readyAt, in.Op.IsFP())
+	issueAt := p.chip.issueAt(p.phys(coreIdx)).reserve(readyAt, in.Op.IsFP())
 	p.executeInst(b, idx, issueAt)
 }
 
@@ -359,7 +315,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 		agenDone := issueAt + 1
 		bank := p.dataBankIdx(addr)
 		arr := p.opnSend(coreIdx, bank, agenDone)
-		p.chip.schedule(arr, func() { p.loadAtBank(b, idx, addr, p.chip.Now()) })
+		p.chip.scheduleEv(arr, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
 
 	case in.Op == isa.OpStore:
 		addr := st.left.val + uint64(in.Imm)
@@ -373,18 +329,12 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 		agenDone := issueAt + 1
 		bank := p.dataBankIdx(addr)
 		arr := p.opnSend(coreIdx, bank, agenDone)
-		p.chip.schedule(arr, func() { p.storeAtBank(b, idx, addr, val, p.chip.Now()) })
+		p.chip.scheduleEv(arr, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
 
 	case in.Op == isa.OpNull:
 		done := issueAt + 1
 		if in.NullLSID >= 0 {
-			lsid := in.NullLSID
-			p.chip.schedule(done, func() {
-				if b.dead {
-					return
-				}
-				p.resolveStoreSlot(b, lsid, p.chip.Now(), false)
-			})
+			p.chip.scheduleEv(done, event{kind: evNullSlot, b: b, gen: b.gen, idx: int32(in.NullLSID)})
 		}
 		for _, tg := range in.Targets {
 			p.scheduleDeadToken(b, tg, coreIdx, done)
@@ -393,7 +343,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 	case in.Op.IsBranch():
 		b.useful++
 		done := issueAt + uint64(p.chip.Opts.Params.IntLat)
-		out := exec.BranchOut{Op: in.Op, Exit: in.Exit}
+		var target uint64
 		switch in.Op {
 		case isa.OpBro, isa.OpCallo:
 			tgt, ok := p.prog.BranchTarget(in)
@@ -401,12 +351,12 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 				p.chip.fail("proc %d: unresolved branch target %q", p.id, in.BranchTo)
 				return
 			}
-			out.Target = tgt
+			target = tgt
 		case isa.OpRet:
-			out.Target = st.left.val
+			target = st.left.val
 		}
 		arr := p.ctlSend(coreIdx, b.owner, done)
-		p.chip.schedule(arr, func() { p.branchResolved(b, out, p.chip.Now()) })
+		p.chip.scheduleEv(arr, event{kind: evBranch, b: b, gen: b.gen, idx: int32(in.Op), from: in.Exit, val: target})
 
 	default:
 		val := exec.EvalALU(in, st.left.val, st.right.val)
@@ -432,11 +382,11 @@ func (p *Proc) scheduleDelivery(b *IFB, tg isa.Target, val uint64, fromIdx int, 
 	if toIdx != fromIdx {
 		arr = p.opnSend(fromIdx, toIdx, t)
 	}
-	p.chip.schedule(arr, func() { p.deliver(b, tg, val, false, fromIdx, p.chip.Now()) })
+	p.chip.scheduleEv(arr, event{kind: evDeliver, b: b, gen: b.gen, tgt: tg, val: val, from: uint8(fromIdx)})
 }
 
 func (p *Proc) scheduleDeadToken(b *IFB, tg isa.Target, fromIdx int, t uint64) {
-	p.chip.schedule(t, func() { p.deliver(b, tg, 0, true, fromIdx, p.chip.Now()) })
+	p.chip.scheduleEv(t, event{kind: evDeadToken, b: b, gen: b.gen, tgt: tg, from: uint8(fromIdx)})
 }
 
 // resolveRead finds the architectural or forwarded value of a register
@@ -457,7 +407,7 @@ func (p *Proc) resolveRead(b *IFB, ri int, t uint64) {
 		}
 		w := &a.wr[slot]
 		if !w.resolved {
-			w.waiters = append(w.waiters, readWaiter{b: b, readIdx: ri, t: t})
+			w.waiters = append(w.waiters, readWaiter{b: b, gen: b.gen, readIdx: ri, t: t})
 			return
 		}
 		if w.has {

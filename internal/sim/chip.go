@@ -6,6 +6,7 @@ import (
 
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
 	"github.com/clp-sim/tflex/internal/noc"
 	"github.com/clp-sim/tflex/internal/prog"
@@ -28,7 +29,10 @@ type Chip struct {
 
 	Procs []*Proc
 
-	events   eventQueue
+	// The event queue: the calendar queue by default, the container/heap
+	// reference queue under Options.Reference (see event.go).
+	cal      *calQueue
+	ref      eventQueue
 	eventSeq uint64
 	now      uint64
 	err      error
@@ -50,23 +54,38 @@ func New(opts Options) *Chip {
 	c.DRAM = mem.NewDRAM(uint64(p.DRAMCycles), 2, 4)
 	c.L2 = mem.NewL2(p.L2Bytes, p.L2Assoc, p.LineBytes, 32, uint64(p.L2HitMin), uint64(p.L2HitMax), c.DRAM)
 	c.L2.SetDirectory(c)
-	for i := range c.l1d {
-		c.l1d[i] = mem.NewCache(p.L1DBytes, p.L1DAssoc, p.LineBytes)
-		c.issue[i] = newIssueRing(p.IssueTotal, p.IssueFP)
+	// L1 D-caches and issue rings are created on first use: a job
+	// composing k of the 32 cores pays setup for k, not 32.
+	if opts.Reference {
+		heap.Init(&c.ref)
+	} else {
+		c.cal = &calQueue{}
 	}
-	heap.Init(&c.events)
 	return c
 }
 
 // Now returns the current simulation cycle.
 func (c *Chip) Now() uint64 { return c.now }
 
+// schedule enqueues an arbitrary callback (the cold control paths).
 func (c *Chip) schedule(at uint64, fn func()) {
+	c.scheduleEv(at, event{kind: evFunc, fn: fn})
+}
+
+// scheduleEv enqueues a typed event, stamping time (clamped to now) and
+// the deterministic insertion sequence.
+func (c *Chip) scheduleEv(at uint64, e event) {
 	if at < c.now {
 		at = c.now
 	}
 	c.eventSeq++
-	c.events.push(event{at: at, seq: c.eventSeq, fn: fn})
+	e.at = at
+	e.seq = c.eventSeq
+	if c.cal != nil {
+		c.cal.push(e)
+	} else {
+		c.ref.push(e)
+	}
 }
 
 func (c *Chip) fail(format string, args ...any) {
@@ -75,13 +94,40 @@ func (c *Chip) fail(format string, args ...any) {
 	}
 }
 
+// l1dAt returns core's private D-cache, creating it on first use.
+func (c *Chip) l1dAt(core int) *mem.Cache {
+	cache := c.l1d[core]
+	if cache == nil {
+		p := c.Opts.Params
+		cache = mem.NewCache(p.L1DBytes, p.L1DAssoc, p.LineBytes)
+		c.l1d[core] = cache
+	}
+	return cache
+}
+
+// issueAt returns core's issue ring, creating it on first use.
+func (c *Chip) issueAt(core int) *issueRing {
+	r := c.issue[core]
+	if r == nil {
+		r = newIssueRing(c.Opts.Params.IssueTotal, c.Opts.Params.IssueFP)
+		c.issue[core] = r
+	}
+	return r
+}
+
 // InvalidateL1 implements mem.L1Directory.
 func (c *Chip) InvalidateL1(core int, addr uint64) (found, dirty bool) {
+	if c.l1d[core] == nil {
+		return false, false
+	}
 	return c.l1d[core].Invalidate(addr)
 }
 
 // DowngradeL1 implements mem.L1Directory.
 func (c *Chip) DowngradeL1(core int, addr uint64) bool {
+	if c.l1d[core] == nil {
+		return false
+	}
 	if l := c.l1d[core].Probe(addr); l != nil && l.Valid {
 		l.Dirty = false
 		return true
@@ -93,6 +139,9 @@ func (c *Chip) DowngradeL1(core int, addr uint64) bool {
 func (c *Chip) L1DStats() mem.CacheStats {
 	var s mem.CacheStats
 	for i := range c.l1d {
+		if c.l1d[i] == nil {
+			continue
+		}
 		cs := c.l1d[i].Stats
 		s.Accesses += cs.Accesses
 		s.Misses += cs.Misses
@@ -142,16 +191,27 @@ func (c *Chip) AddProcShared(cores compose.Processor, program *prog.Program, fro
 // Run executes events until every processor halts, the cycle limit is
 // exceeded, or the model faults.
 func (c *Chip) Run(maxCycles uint64) error {
-	for !c.events.empty() {
+	for {
 		if c.err != nil {
 			return c.err
 		}
-		e := c.events.popMin()
+		var e event
+		if c.cal != nil {
+			if c.cal.empty() {
+				break
+			}
+			e = c.cal.popMin()
+		} else {
+			if c.ref.empty() {
+				break
+			}
+			e = c.ref.popMin()
+		}
 		if e.at > maxCycles {
 			return fmt.Errorf("sim: exceeded %d cycles (running: %s)", maxCycles, c.runningProcs())
 		}
 		c.now = e.at
-		e.fn()
+		c.dispatch(&e)
 	}
 	if c.err != nil {
 		return c.err
@@ -162,6 +222,64 @@ func (c *Chip) Run(maxCycles uint64) error {
 		}
 	}
 	return nil
+}
+
+// dispatch executes one event.  Events carrying a block reference are
+// dropped when the block's generation moved on — the block committed or
+// was flushed (and possibly recycled) after the event was scheduled.
+func (c *Chip) dispatch(e *event) {
+	if e.b != nil && e.b.gen != e.gen {
+		return
+	}
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evDispatch:
+		b := e.b
+		if b.dead {
+			return
+		}
+		b.insts[e.idx].avail = true
+		b.p.maybeIssue(b, int(e.idx))
+	case evRegRead:
+		b := e.b
+		if b.dead {
+			return
+		}
+		b.p.resolveRead(b, int(e.idx), c.now)
+	case evDeliver:
+		e.b.p.deliver(e.b, e.tgt, e.val, false, int(e.from), c.now)
+	case evDeadToken:
+		e.b.p.deliver(e.b, e.tgt, 0, true, int(e.from), c.now)
+	case evLoadBank:
+		e.b.p.loadAtBank(e.b, int(e.idx), e.addr, c.now)
+	case evStoreBank:
+		e.b.p.storeAtBank(e.b, int(e.idx), e.addr, e.val, c.now)
+	case evNullSlot:
+		b := e.b
+		if b.dead {
+			return
+		}
+		b.p.resolveStoreSlot(b, int8(e.idx), c.now, false)
+	case evBranch:
+		out := exec.BranchOut{Op: isa.Opcode(e.idx), Exit: e.from, Target: e.val}
+		e.b.p.branchResolved(e.b, out, c.now)
+	case evDealloc:
+		b := e.b
+		b.deallocDone = true
+		b.deallocAt = e.val
+		b.p.drainCommitted()
+	case evFetch:
+		p := e.proc
+		if e.val != p.fetch.epoch || p.halted {
+			return
+		}
+		p.fetch.scheduled = false
+		if !p.fetch.valid || len(p.window) >= p.maxBlocks {
+			return
+		}
+		p.fetchBlock()
+	}
 }
 
 func (c *Chip) runningProcs() string {

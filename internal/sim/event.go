@@ -1,14 +1,67 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"github.com/clp-sim/tflex/internal/isa"
+)
+
+// The event layer.  Every simulator action is an event executed in
+// (cycle, insertion-order) order.  The hot paths use *typed* events — a
+// small tagged union dispatched by the chip — so scheduling one costs no
+// closure or interface boxing; arbitrary callbacks remain available via
+// evFunc for the cold control paths.
+//
+// Two interchangeable queues implement the same ordering contract:
+//
+//   - calQueue (default): a bucketed calendar queue.  Events within the
+//     lookahead window land in a per-cycle bucket (append = FIFO = seq
+//     order); far-future events wait in a small overflow heap and migrate
+//     into buckets before their cycle is processed.  Push and pop are
+//     allocation-free in steady state.
+//   - eventQueue (Options.Reference): the original container/heap binary
+//     heap, kept as the differential-testing slow path.  It boxes every
+//     event through `any`, which is exactly the overhead the calendar
+//     queue removes.
+//
+// Both orders are (at, seq), so the two queues produce byte-identical
+// simulations.
+
+// evKind tags the typed event union.
+type evKind uint8
+
+const (
+	evFunc      evKind = iota // fn()
+	evDispatch                // b, idx: instruction slot arrives in the window
+	evRegRead                 // b, idx: read slot dispatched at its register bank
+	evDeliver                 // b, tgt, val, from: operand/write arrival
+	evDeadToken               // b, tgt, from: dead-token arrival
+	evLoadBank                // b, idx, addr: load address at its D-bank
+	evStoreBank               // b, idx, addr, val: store address+data at its D-bank
+	evNullSlot                // b, idx (LSID): store slot nulled
+	evBranch                  // b, idx (opcode), from (exit), val (target): branch out
+	evDealloc                 // b, val (dealloc cycle): commit deallocation done
+	evFetch                   // proc, val (epoch): fetch-engine callback
+)
 
 // event is one scheduled simulator action.
 type event struct {
 	at  uint64
 	seq uint64 // insertion order: deterministic tie-break
-	fn  func()
+
+	fn   func() // evFunc only
+	b    *IFB
+	proc *Proc
+	val  uint64
+	addr uint64
+	gen  uint32 // IFB generation at schedule time; stale events are dropped
+	idx  int32
+	tgt  isa.Target
+	from uint8
+	kind evKind
 }
 
+// eventQueue is the reference binary-heap queue (container/heap).
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -21,17 +74,151 @@ func (q eventQueue) Less(i, j int) bool {
 func (q eventQueue) Swap(i, j int)  { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x any)    { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() any      { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-func (q *eventQueue) peek() *event  { return &(*q)[0] }
 func (q *eventQueue) empty() bool   { return len(*q) == 0 }
 func (q *eventQueue) push(e event)  { heap.Push(q, e) }
 func (q *eventQueue) popMin() event { return heap.Pop(q).(event) }
 
+// Calendar-queue geometry: one bucket per cycle over a lookahead window.
+// The window comfortably covers every modeled latency (NoC reservations,
+// DRAM at 150 cycles, commit drains); rarer far-future events overflow to
+// a heap and migrate in before their cycle is reached.
+const (
+	calBuckets = 1 << 10
+	calMask    = calBuckets - 1
+
+	// First touch of a bucket allocates this capacity up front: one
+	// allocation per bucket per chip instead of a growth chain.
+	calBucketCap = 8
+)
+
+// calQueue is the default bucketed calendar queue.
+type calQueue struct {
+	base     uint64 // cycle the cursor bucket corresponds to
+	nbucket  int    // events resident in buckets
+	buckets  [calBuckets][]event
+	heads    [calBuckets]int32
+	overflow minEvHeap // events at or beyond base+calBuckets
+}
+
+func (q *calQueue) empty() bool { return q.nbucket == 0 && len(q.overflow) == 0 }
+
+// push files an event.  The caller guarantees e.at >= q.base (the chip
+// clamps schedule times to now, and base never passes now).
+func (q *calQueue) push(e event) {
+	if e.at < q.base+calBuckets {
+		i := e.at & calMask
+		bkt := q.buckets[i]
+		if cap(bkt) == 0 {
+			bkt = make([]event, 0, calBucketCap)
+		}
+		q.buckets[i] = append(bkt, e)
+		q.nbucket++
+	} else {
+		q.overflow.push(e)
+	}
+}
+
+// popMin removes and returns the earliest event in (at, seq) order.
+//
+// Ordering argument: a bucket only ever holds events for one cycle at a
+// time (the window is exactly calBuckets wide), and all pushes for a given
+// cycle T arrive in seq order — overflow events for T are migrated, in seq
+// order, at the top of the pop that first makes T reachable, which is
+// before any event executes and directly pushes more work for T.
+func (q *calQueue) popMin() event {
+	for {
+		// Pull due overflow events into the calendar window.
+		for len(q.overflow) > 0 && q.overflow[0].at < q.base+calBuckets {
+			e := q.overflow.pop()
+			i := e.at & calMask
+			bkt := q.buckets[i]
+			if cap(bkt) == 0 {
+				bkt = make([]event, 0, calBucketCap)
+			}
+			q.buckets[i] = append(bkt, e)
+			q.nbucket++
+		}
+		i := q.base & calMask
+		if int(q.heads[i]) < len(q.buckets[i]) {
+			e := q.buckets[i][q.heads[i]]
+			q.heads[i]++
+			q.nbucket--
+			if int(q.heads[i]) == len(q.buckets[i]) {
+				q.buckets[i] = q.buckets[i][:0]
+				q.heads[i] = 0
+			}
+			return e
+		}
+		q.buckets[i] = q.buckets[i][:0]
+		q.heads[i] = 0
+		if q.nbucket == 0 && len(q.overflow) > 0 {
+			q.base = q.overflow[0].at // jump over the idle gap
+		} else {
+			q.base++
+		}
+	}
+}
+
+// minEvHeap is a hand-rolled (at, seq) min-heap for overflow events — no
+// interface boxing, unlike container/heap.
+type minEvHeap []event
+
+func (h minEvHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *minEvHeap) push(e event) {
+	*h = append(*h, e)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *minEvHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{} // drop pointers for GC
+	*h = a[:n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
+}
+
 // issueRing books per-core issue slots: at most capTotal instructions per
-// cycle, of which at most capFP may be floating point.
+// cycle, of which at most capFP may be floating point.  Slots are stamped
+// with the cycle they describe, so advancing the window never clears.
 type issueRing struct {
 	base     uint64
 	total    []uint8
 	fp       []uint8
+	stamp    []uint64 // cycle+1 each slot currently describes
 	capTotal uint8
 	capFP    uint8
 }
@@ -42,6 +229,7 @@ func newIssueRing(capTotal, capFP int) *issueRing {
 	return &issueRing{
 		total:    make([]uint8, issueHorizon),
 		fp:       make([]uint8, issueHorizon),
+		stamp:    make([]uint64, issueHorizon),
 		capTotal: uint8(capTotal),
 		capFP:    uint8(capFP),
 	}
@@ -54,13 +242,14 @@ func (r *issueRing) reserve(t uint64, isFP bool) uint64 {
 	}
 	for {
 		if t >= r.base+issueHorizon {
-			for i := range r.total {
-				r.total[i] = 0
-				r.fp[i] = 0
-			}
 			r.base = t
 		}
-		i := (t - r.base) % issueHorizon
+		i := t % issueHorizon
+		if r.stamp[i] != t+1 {
+			r.stamp[i] = t + 1
+			r.total[i] = 0
+			r.fp[i] = 0
+		}
 		if r.total[i] < r.capTotal && (!isFP || r.fp[i] < r.capFP) {
 			r.total[i]++
 			if isFP {

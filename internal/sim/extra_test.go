@@ -148,7 +148,7 @@ func TestViolationMemoDefersReplays(t *testing.T) {
 	if proc.Stats.ViolationFlushes > 2 {
 		t.Fatalf("violation replays not damped: %d flushes", proc.Stats.ViolationFlushes)
 	}
-	if len(proc.violMemo) == 0 && proc.Stats.ViolationFlushes > 0 {
+	if proc.violCount == 0 && proc.Stats.ViolationFlushes > 0 {
 		t.Fatal("violating load was not memoized")
 	}
 }

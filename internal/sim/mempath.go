@@ -18,8 +18,48 @@ func (p *Proc) memKey(b *IFB, idx int) mem.MemKey {
 	return mem.MemKey{BlockSeq: b.seq, LSID: b.blk.Insts[idx].LSID}
 }
 
-func (p *Proc) violMemoKey(b *IFB, idx int) uint64 {
-	return b.blk.Addr<<8 | uint64(idx)
+// The violation memo is a dense bitset over (block index, instruction ID)
+// pairs — a static program property, so its footprint is bounded by the
+// program size and lookups are two shifts and a mask.  Blocks without a
+// dense index (never produced by the program layout) fall back to a map.
+
+func (p *Proc) violGet(b *IFB, idx int) bool {
+	bi := b.meta.blkIdx
+	if bi < 0 {
+		return p.violMap[b.blk.Addr<<8|uint64(idx)]
+	}
+	bit := uint(bi)*isa.MaxBlockInsts + uint(idx)
+	w := bit / 64
+	if w >= uint(len(p.violBits)) {
+		return false
+	}
+	return p.violBits[w]&(1<<(bit%64)) != 0
+}
+
+func (p *Proc) violSet(b *IFB, idx int) {
+	bi := b.meta.blkIdx
+	if bi < 0 {
+		if p.violMap == nil {
+			p.violMap = map[uint64]bool{}
+		}
+		key := b.blk.Addr<<8 | uint64(idx)
+		if !p.violMap[key] {
+			p.violMap[key] = true
+			p.violCount++
+		}
+		return
+	}
+	bit := uint(bi)*isa.MaxBlockInsts + uint(idx)
+	w := bit / 64
+	if w >= uint(len(p.violBits)) {
+		grown := make([]uint64, (uint(p.prog.NumBlocks())*isa.MaxBlockInsts+63)/64)
+		copy(grown, p.violBits)
+		p.violBits = grown
+	}
+	if p.violBits[w]&(1<<(bit%64)) == 0 {
+		p.violBits[w] |= 1 << (bit % 64)
+		p.violCount++
+	}
 }
 
 // loadAtBank services a load whose address has arrived at its bank.
@@ -31,8 +71,8 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 	key := p.memKey(b, idx)
 
 	// Memoized violators wait for older stores (dependence prediction).
-	if p.violMemo[p.violMemoKey(b, idx)] && !p.olderStoresResolved(b, in.LSID) {
-		p.deferred = append(p.deferred, deferredLoad{b: b, idx: idx, addr: addr, t: t})
+	if p.violGet(b, idx) && !p.olderStoresResolved(b, in.LSID) {
+		p.deferred = append(p.deferred, deferredLoad{b: b, gen: b.gen, idx: idx, addr: addr, t: t})
 		return
 	}
 
@@ -42,7 +82,7 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 		p.Stats.LSQNACKs++
 		p.relieveLSQPressure(b, t)
 		retry := t + p.chip.Opts.NACKRetryCycles
-		p.chip.schedule(retry, func() { p.loadAtBank(b, idx, addr, p.chip.Now()) })
+		p.chip.scheduleEv(retry, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
 		return
 	}
 
@@ -55,7 +95,7 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 		dataAt = svc + 1 // store-to-load forwarding out of the LSQ
 	} else {
 		pa := p.physAddr(addr)
-		cache := p.chip.l1d[physCore]
+		cache := p.chip.l1dAt(physCore)
 		if line, hit := cache.Access(pa, svc); hit {
 			dataAt = svc + uint64(p.chip.Opts.Params.L1DHitCycles)
 			if line.FillAt > dataAt {
@@ -94,7 +134,7 @@ func (p *Proc) storeAtBank(b *IFB, idx int, addr uint64, val uint64, t uint64) {
 		p.Stats.LSQNACKs++
 		p.relieveLSQPressure(b, t)
 		retry := t + p.chip.Opts.NACKRetryCycles
-		p.chip.schedule(retry, func() { p.storeAtBank(b, idx, addr, val, p.chip.Now()) })
+		p.chip.scheduleEv(retry, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
 		return
 	}
 
@@ -110,7 +150,7 @@ func (p *Proc) storeAtBank(b *IFB, idx int, addr uint64, val uint64, t uint64) {
 				for i := range vb.blk.Insts {
 					mi := &vb.blk.Insts[i]
 					if mi.Op == isa.OpLoad && mi.LSID == v.LSID {
-						p.violMemo[p.violMemoKey(vb, i)] = true
+						p.violSet(vb, i)
 					}
 				}
 			}
@@ -172,18 +212,10 @@ func (p *Proc) blockBySeq(seq uint64) *IFB {
 // overlaid with every older fired store (older blocks' stores plus
 // same-block stores with lower LSIDs), applied in program order.
 func (p *Proc) loadValue(b *IFB, key mem.MemKey, addr uint64, size int, signed bool) uint64 {
-	buf := make([]byte, size)
+	var buf [8]byte // size <= 8
 	base := p.Mem.Load(addr, size, false)
 	for i := 0; i < size; i++ {
 		buf[i] = byte(base >> (8 * i))
-	}
-	apply := func(s *firedStore) {
-		for bb := 0; bb < int(s.size); bb++ {
-			off := int64(s.addr) + int64(bb) - int64(addr)
-			if off >= 0 && off < int64(size) {
-				buf[off] = byte(s.val >> (8 * bb))
-			}
-		}
 	}
 	// Window blocks are ordered oldest-first, and within a block stores
 	// are overlaid in LSID order.
@@ -197,8 +229,14 @@ func (p *Proc) loadValue(b *IFB, key mem.MemKey, addr uint64, size int, signed b
 				if s.key.LSID != lsid {
 					continue
 				}
-				if s.key.Less(key) {
-					apply(s)
+				if !s.key.Less(key) {
+					continue
+				}
+				for bb := 0; bb < int(s.size); bb++ {
+					off := int64(s.addr) + int64(bb) - int64(addr)
+					if off >= 0 && off < int64(size) {
+						buf[off] = byte(s.val >> (8 * bb))
+					}
 				}
 			}
 		}
@@ -225,23 +263,14 @@ func (p *Proc) olderStoresResolved(b *IFB, lsid int8) bool {
 		if w.seq == b.seq {
 			limit = lsid
 		}
+		hasSlot := w.meta.lsidHasSlot
 		for id := int8(0); id < limit; id++ {
-			if p.blockHasStoreSlot(w, id) && !w.storeDone[id] {
+			if hasSlot&(1<<uint(id)) != 0 && !w.storeDone[id] {
 				return false
 			}
 		}
 	}
 	return true
-}
-
-func (p *Proc) blockHasStoreSlot(b *IFB, lsid int8) bool {
-	for i := range b.blk.Insts {
-		in := &b.blk.Insts[i]
-		if (in.Op == isa.OpStore && in.LSID == lsid) || (in.Op == isa.OpNull && in.NullLSID == lsid) {
-			return true
-		}
-	}
-	return false
 }
 
 // retryDeferredLoads re-attempts memoized loads whose ordering constraints
@@ -251,17 +280,17 @@ func (p *Proc) retryDeferredLoads() {
 		return
 	}
 	pending := p.deferred
-	p.deferred = nil
+	p.deferred = p.deferredSpare[:0]
 	for _, d := range pending {
-		if d.b.dead {
+		if d.b.gen != d.gen || d.b.dead {
 			continue
 		}
 		in := &d.b.blk.Insts[d.idx]
 		if p.olderStoresResolved(d.b, in.LSID) {
-			b, idx, addr := d.b, d.idx, d.addr
-			p.chip.schedule(p.chip.Now(), func() { p.loadAtBank(b, idx, addr, p.chip.Now()) })
+			p.chip.scheduleEv(p.chip.now, event{kind: evLoadBank, b: d.b, gen: d.gen, idx: int32(d.idx), addr: d.addr})
 		} else {
 			p.deferred = append(p.deferred, d)
 		}
 	}
+	p.deferredSpare = pending[:0]
 }

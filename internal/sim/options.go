@@ -45,6 +45,13 @@ type Options struct {
 
 	// NACKRetryCycles is the backoff before a NACKed LSQ insert retries.
 	NACKRetryCycles uint64
+
+	// Reference disables the engine's hot-path optimizations — the
+	// container/heap event queue replaces the calendar queue, in-flight
+	// blocks are never pooled, and block metadata is re-decoded on every
+	// fetch.  Simulated results are identical either way; the differential
+	// tests run both and compare.
+	Reference bool
 }
 
 // DefaultOptions returns the TFlex configuration of Table 1.

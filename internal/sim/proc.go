@@ -51,8 +51,25 @@ type Proc struct {
 	commitPortR     []port // per register-bank write port
 	halted          bool
 
-	violMemo map[uint64]bool // load instructions that have violated
-	deferred []deferredLoad
+	// Violation memo: load instructions that have violated, as a dense
+	// bitset indexed blockIndex*MaxBlockInsts+instID (violMap backs the
+	// rare non-laid-out block).
+	violBits  []uint64
+	violMap   map[uint64]bool
+	violCount int
+
+	deferred      []deferredLoad
+	deferredSpare []deferredLoad // swap buffer for retryDeferredLoads
+
+	meta    []*blockMeta // decoded-block cache, indexed by block index
+	ifbFree []*IFB       // recycled in-flight blocks
+
+	// Per-fetch/per-commit scratch, sized n at construction.  Each buffer
+	// has a single producer whose use completes before the next producer
+	// runs (multicast results are consumed synchronously).
+	mcArr       []uint64
+	wbScratch   []uint64
+	slotScratch []int
 
 	blockTrace func(BlockEvent)
 
@@ -61,6 +78,7 @@ type Proc struct {
 
 type deferredLoad struct {
 	b    *IFB
+	gen  uint32
 	idx  int
 	addr uint64
 	t    uint64
@@ -70,7 +88,6 @@ func newProc(c *Chip, id int, cores []int, program *prog.Program, m *exec.PageMe
 	p := &Proc{
 		chip: c, id: id, asid: uint64(id + 1),
 		cores: cores, n: len(cores), prog: program, Mem: m,
-		violMemo: map[uint64]bool{},
 	}
 	params := c.Opts.Params
 	predBanks := p.n
@@ -101,6 +118,10 @@ func newProc(c *Chip, id int, cores []int, program *prog.Program, m *exec.PageMe
 		p.maxBlocks = 1
 	}
 	p.Stats.IssuedByCore = make([]uint64, p.n)
+
+	p.mcArr = make([]uint64, p.n)
+	p.wbScratch = make([]uint64, p.n)
+	p.slotScratch = make([]int, p.n)
 	return p
 }
 
@@ -159,18 +180,17 @@ func (p *Proc) opnSend(fromIdx, toIdx int, t uint64) uint64 {
 	return p.chip.Opn.Send(p.phys(fromIdx), p.phys(toIdx), t)
 }
 
-// ctlMulticast distributes a control message from fromIdx to every
+// ctlMulticastInto distributes a control message from fromIdx to every
 // participating core as a tree multicast (the TRIPS global networks),
-// returning per-core arrival cycles in participating order.
-func (p *Proc) ctlMulticast(fromIdx int, t uint64) []uint64 {
-	arr := make([]uint64, p.n)
+// filling dst with per-core arrival cycles in participating order.
+func (p *Proc) ctlMulticastInto(fromIdx int, t uint64, dst []uint64) {
 	if p.chip.Opts.ZeroHandshake {
-		for i := range arr {
-			arr[i] = t
+		for i := range dst {
+			dst[i] = t
 		}
-		return arr
+		return
 	}
-	return p.chip.Ctl.Multicast(p.phys(fromIdx), p.cores, t)
+	p.chip.Ctl.MulticastInto(p.phys(fromIdx), p.cores, t, dst)
 }
 
 func (p *Proc) start() {
@@ -196,18 +216,7 @@ func (p *Proc) maybeFetch() {
 		return // re-invoked on dealloc
 	}
 	p.fetch.scheduled = true
-	epoch := p.fetch.epoch
-	at := p.fetch.readyAt
-	p.chip.schedule(at, func() {
-		if epoch != p.fetch.epoch || p.halted {
-			return
-		}
-		p.fetch.scheduled = false
-		if !p.fetch.valid || len(p.window) >= p.maxBlocks {
-			return
-		}
-		p.fetchBlock()
-	})
+	p.chip.scheduleEv(p.fetch.readyAt, event{kind: evFetch, proc: p, val: p.fetch.epoch})
 }
 
 // fetchBlock runs the distributed fetch pipeline for the block at
@@ -229,9 +238,11 @@ func (p *Proc) fetchBlock() {
 		return
 	}
 	params := &p.chip.Opts.Params
-	owner := p.ownerIdx(addr)
+	m := p.blockMeta(blk)
+	owner := m.owner
 
-	b := newIFB(p, blk, p.nextSeq, owner, hist)
+	b := p.acquireIFB()
+	resetIFB(b, p, m, p.nextSeq, hist)
 	p.nextSeq++
 	p.window = append(p.window, b)
 	p.Stats.BlocksFetched++
@@ -282,7 +293,8 @@ func (p *Proc) fetchBlock() {
 	b.constLat = constLat
 
 	// Fetch-command distribution to every participating core.
-	arr := p.ctlMulticast(owner, cmdStart)
+	arr := p.mcArr
+	p.ctlMulticastInto(owner, cmdStart, arr)
 	bcastLast := cmdStart
 	for _, a := range arr {
 		if a > bcastLast {
@@ -292,46 +304,34 @@ func (p *Proc) fetchBlock() {
 	b.bcastLat = bcastLast - cmdStart
 
 	// Per-core dispatch: each core reads its slots from its I-bank at
-	// DispatchBW instructions per cycle.
+	// DispatchBW instructions per cycle.  Nop slots are never dispatched;
+	// the decoded metadata lists the live ones.
 	dispatchLast := bcastLast
-	slotCount := make([]int, p.n)
-	for id := range blk.Insts {
-		if blk.Insts[id].Op == isa.OpNop {
-			continue // unused slot: never dispatched
-		}
-		c := compose.InstCore(id, p.n)
+	slotCount := p.slotScratch
+	for i := range slotCount {
+		slotCount[i] = 0
+	}
+	for _, id32 := range m.nonNop {
+		id := int(id32)
+		c := int(m.instCore[id])
 		av := arr[c] + 1 + uint64(slotCount[c]/params.DispatchBW)
 		slotCount[c]++
 		b.insts[id].availAt = av
 		if av > dispatchLast {
 			dispatchLast = av
 		}
-		idx := id
-		p.chip.schedule(av, func() {
-			if b.dead {
-				return
-			}
-			b.insts[idx].avail = true
-			p.maybeIssue(b, idx)
-		})
+		p.chip.scheduleEv(av, event{kind: evDispatch, b: b, gen: b.gen, idx: id32})
 	}
 	b.dispatchLat = dispatchLast - bcastLast
 
 	// Register reads are dispatched to their register-bank cores.
 	for ri := range blk.Reads {
 		bank := p.regBankIdx(blk.Reads[ri].Reg)
-		at := arr[bank] + 1
-		r := ri
-		p.chip.schedule(at, func() {
-			if b.dead {
-				return
-			}
-			p.resolveRead(b, r, p.chip.Now())
-		})
+		p.chip.scheduleEv(arr[bank]+1, event{kind: evRegRead, b: b, gen: b.gen, idx: int32(ri)})
 	}
 
 	// Blocks with no register writes/stores can complete with just the
-	// branch; outputsPending was set in newIFB.
+	// branch; outputsPending was set from the decoded metadata.
 	p.maybeFetch()
 }
 
@@ -360,6 +360,7 @@ func (p *Proc) flushFrom(seq uint64, restartAddr uint64, hist predictor.History,
 		p.Stats.BlocksFlushed++
 		p.emitBlockEvent(b, t, true)
 		p.window = p.window[:i]
+		p.releaseIFB(b)
 	}
 	for _, bank := range p.lsq {
 		bank.RemoveFrom(seq)
@@ -367,7 +368,7 @@ func (p *Proc) flushFrom(seq uint64, restartAddr uint64, hist predictor.History,
 	// Drop deferred loads belonging to flushed blocks.
 	kept := p.deferred[:0]
 	for _, d := range p.deferred {
-		if !d.b.dead {
+		if d.b.gen == d.gen && !d.b.dead {
 			kept = append(kept, d)
 		}
 	}
@@ -490,12 +491,14 @@ func (p *Proc) startCommit(b *IFB) {
 	p.anyCommitted = true
 
 	// Phase 2: commit command to all participating cores (tree multicast).
-	cmdArr := p.ctlMulticast(b.owner, start)
+	cmdArr := p.mcArr
+	p.ctlMulticastInto(b.owner, start, cmdArr)
 
 	// Phase 3: architectural state update: stores drain at the D-banks
 	// and register writes retire at the register banks, one per cycle per
 	// bank, contending with other committing blocks.
-	wbDone := append([]uint64(nil), cmdArr...)
+	wbDone := p.wbScratch
+	copy(wbDone, cmdArr)
 	lineBytes := p.chip.Opts.Params.LineBytes
 	for _, s := range b.stores {
 		pos := compose.DataBank(s.addr, lineBytes, len(p.dbanks))
@@ -540,8 +543,10 @@ func (p *Proc) startCommit(b *IFB) {
 			ackDone = a
 		}
 	}
+	// cmdArr is fully consumed above; reuse the multicast scratch.
+	p.ctlMulticastInto(b.owner, ackDone, p.mcArr)
 	deallocAt := ackDone
-	for _, a := range p.ctlMulticast(b.owner, ackDone) {
+	for _, a := range p.mcArr {
 		if a > deallocAt {
 			deallocAt = a
 		}
@@ -551,11 +556,7 @@ func (p *Proc) startCommit(b *IFB) {
 	p.Stats.CommitArchSum += drainMax
 	p.Stats.CommitHandshakeSum += (deallocAt - start) - drainMax
 
-	p.chip.schedule(deallocAt, func() {
-		b.deallocDone = true
-		b.deallocAt = deallocAt
-		p.drainCommitted()
-	})
+	p.chip.scheduleEv(deallocAt, event{kind: evDealloc, b: b, gen: b.gen, val: deallocAt})
 }
 
 // applyArchState commits a block's register writes and stores.
@@ -583,7 +584,7 @@ func (p *Proc) applyArchState(b *IFB) {
 func (p *Proc) commitStoreToCache(addr uint64) {
 	bank := p.dataBankIdx(addr)
 	physCore := p.phys(bank)
-	cache := p.chip.l1d[physCore]
+	cache := p.chip.l1dAt(physCore)
 	pa := p.physAddr(addr)
 	now := p.chip.Now()
 	if line, hit := cache.Access(pa, now); hit {
@@ -617,7 +618,9 @@ func (p *Proc) writeBackVictim(physCore int, victim mem.Line) {
 func (p *Proc) drainCommitted() {
 	for len(p.window) > 0 && p.window[0].deallocDone && !p.halted {
 		b := p.window[0]
-		p.window = p.window[1:]
+		n := copy(p.window, p.window[1:])
+		p.window[n] = nil
+		p.window = p.window[:n]
 		p.finalizeCommit(b, b.deallocAt)
 	}
 	if !p.halted {
@@ -651,8 +654,8 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 	// Serve any read waiters that were still attached (defensively:
 	// normally writes resolve before completion).
 	for wi := range b.wr {
-		for _, w := range b.wr[wi].waiters {
-			if !w.b.dead {
+		for i := range b.wr[wi].waiters {
+			if w := &b.wr[wi].waiters[i]; w.live() {
 				p.resolveRead(w.b, w.readIdx, t)
 			}
 		}
@@ -667,6 +670,7 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 			p.chip.onHalt(p)
 		}
 	}
+	p.releaseIFB(b)
 }
 
 // describeStall reports what a deadlocked processor was waiting for.

@@ -158,7 +158,8 @@ type RunConfig struct {
 	Init func(regs *[128]uint64, mem *Memory)
 	// MaxCycles bounds the simulation (default 2e9).
 	MaxCycles uint64
-	// Options overrides the chip options (zero value: defaults).
+	// Options overrides the chip options (nil: DefaultOptions, or
+	// TRIPSOptions when TRIPS is set).
 	Options *Options
 	// OnBlock, if set, observes every block retirement (commit or flush).
 	OnBlock func(BlockEvent)
@@ -187,6 +188,9 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 	switch {
 	case cfg.TRIPS:
 		opts = trips.Options()
+		if cfg.Options != nil {
+			opts = *cfg.Options
+		}
 		cores = trips.Processor()
 	default:
 		opts = sim.DefaultOptions()
