@@ -6,8 +6,10 @@
 # Checks, in order: formatting, vet, build, the full test suite under the
 # race detector (which also exercises the concurrent experiment runner,
 # the determinism regression in internal/experiments, and the
-# optimized-vs-reference engine differential), and a one-iteration smoke
-# of every benchmark so the bench harness cannot rot unnoticed.
+# optimized-vs-reference engine differential), an explicit race gate on
+# the telemetry layer (shared Chrome trace + per-chip samplers inside
+# concurrent runner jobs), and a one-iteration smoke of every benchmark
+# so the bench harness cannot rot unnoticed.
 #
 #   ./ci.sh bench
 #
@@ -39,6 +41,10 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== telemetry race gate (sampler vs. runner jobs) =="
+go test -race -count=1 -run 'TestTelemetryUnderConcurrentJobs|TestRegistryConcurrent|TestChipTelemetryEndToEnd' \
+    . ./internal/telemetry ./internal/sim
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./...

@@ -3,13 +3,15 @@
 // `ci.sh bench`).
 //
 // The workload is the Figure 6 job grid — every suite kernel on every
-// TFlex composition size plus the TRIPS baseline — run twice on a single
-// goroutine: once on the default optimized engine and once on the
-// reference slow path (Options.Reference: container/heap event queue, no
-// block pooling, per-fetch decode).  Both runs simulate the exact same
-// cycles, so the wall-clock ratio isolates the engine optimizations, and
-// allocations divided by committed blocks give allocs/block for each
-// path.
+// TFlex composition size plus the TRIPS baseline — run three times on a
+// single goroutine: on the default optimized engine, on the reference
+// slow path (Options.Reference: container/heap event queue, no block
+// pooling, per-fetch decode), and on the optimized engine with the full
+// telemetry stack armed (metric registry, latency histograms, Chrome
+// trace, 64-cycle sampler).  All runs simulate the exact same cycles,
+// so reference/optimized isolates the engine optimizations and
+// telemetry/optimized ("telemetry_overhead") prices the instrumentation
+// — the telemetry-off run is the one the overhead contract gates.
 //
 // Usage:
 //
@@ -45,7 +47,11 @@ type report struct {
 	GoVersion string       `json:"go_version"`
 	Optimized engineResult `json:"optimized"`
 	Reference engineResult `json:"reference"`
+	Telemetry engineResult `json:"telemetry"`
 	Speedup   float64      `json:"speedup"`
+	// TelemetryOverhead is telemetry-on wall over telemetry-off wall on
+	// the optimized engine.
+	TelemetryOverhead float64 `json:"telemetry_overhead"`
 }
 
 // job is one simulation of the Figure 6 grid.
@@ -65,7 +71,7 @@ func grid() []job {
 	return jobs
 }
 
-func measure(jobs []job, scale int, reference bool) (engineResult, error) {
+func measure(jobs []job, scale int, reference, telemetry bool) (engineResult, error) {
 	opts := tflex.DefaultOptions()
 	opts.Reference = reference
 	var m0, m1 runtime.MemStats
@@ -81,6 +87,13 @@ func measure(jobs []job, scale int, reference bool) (engineResult, error) {
 				trips.Reference = true
 				cfg.Options = &trips
 			}
+		}
+		if telemetry {
+			// Full stack: registry + histograms, block spans, sampler.
+			// A fresh trace per job keeps memory bounded.
+			cfg.CollectMetrics = true
+			cfg.ChromeTrace = tflex.NewTrace()
+			cfg.SampleEvery = 64
 		}
 		res, err := tflex.RunKernel(j.kernel, scale, cfg)
 		if err != nil {
@@ -113,15 +126,20 @@ func main() {
 	var err error
 	// Reference first so its allocation burst cannot inflate the
 	// optimized measurement's GC activity.
-	if rep.Reference, err = measure(jobs, *scale, true); err != nil {
+	if rep.Reference, err = measure(jobs, *scale, true, false); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexbench: reference:", err)
 		os.Exit(1)
 	}
-	if rep.Optimized, err = measure(jobs, *scale, false); err != nil {
+	if rep.Optimized, err = measure(jobs, *scale, false, false); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexbench: optimized:", err)
 		os.Exit(1)
 	}
+	if rep.Telemetry, err = measure(jobs, *scale, false, true); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexbench: telemetry:", err)
+		os.Exit(1)
+	}
 	rep.Speedup = rep.Reference.WallSeconds / rep.Optimized.WallSeconds
+	rep.TelemetryOverhead = rep.Telemetry.WallSeconds / rep.Optimized.WallSeconds
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -141,5 +159,7 @@ func main() {
 		rep.Reference.WallSeconds, rep.Reference.SimCyclesPerSec, rep.Reference.AllocsPerBlock)
 	fmt.Printf("  optimized  %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
 		rep.Optimized.WallSeconds, rep.Optimized.SimCyclesPerSec, rep.Optimized.AllocsPerBlock)
-	fmt.Printf("  speedup    %.2fx\n", rep.Speedup)
+	fmt.Printf("  telemetry  %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
+		rep.Telemetry.WallSeconds, rep.Telemetry.SimCyclesPerSec, rep.Telemetry.AllocsPerBlock)
+	fmt.Printf("  speedup    %.2fx (telemetry overhead %.2fx)\n", rep.Speedup, rep.TelemetryOverhead)
 }

@@ -18,9 +18,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"github.com/clp-sim/tflex"
 	"github.com/clp-sim/tflex/internal/experiments"
 	"github.com/clp-sim/tflex/internal/profiling"
 )
@@ -54,6 +56,8 @@ func main() {
 	workloads := flag.Int("workloads", 10, "multiprogrammed workloads per size (fig10)")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs (<=0: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-job progress with wall-clock timing to stderr")
+	metrics := flag.String("metrics", "", "write every job's telemetry-registry snapshot as JSON to this file")
+	chromeTrace := flag.String("chrome-trace", "", "write runner job lifecycles as a chrome://tracing event file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -70,6 +74,11 @@ func main() {
 	if *progress {
 		s.SetProgress(os.Stderr)
 	}
+	var trace *tflex.Trace
+	if *chromeTrace != "" {
+		trace = tflex.NewTrace()
+		s.SetTrace(trace)
+	}
 
 	run := func(e experiment) {
 		fmt.Printf("\n================ %s ================\n", strings.ToUpper(e.name))
@@ -81,18 +90,36 @@ func main() {
 		fmt.Print(out)
 	}
 
+	// finish writes the telemetry artifacts and the suite summary after
+	// the selected experiments have rendered.
+	finish := func() {
+		if *metrics != "" {
+			if err := writeFile(*metrics, s.WriteMetrics); err != nil {
+				fmt.Fprintln(os.Stderr, "tflexexp:", err)
+				os.Exit(1)
+			}
+		}
+		if trace != nil {
+			if err := writeFile(*chromeTrace, trace.WriteJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "tflexexp:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintln(os.Stderr, s.Summary())
+	}
+
 	exps := expList(*workloads)
 	if *exp == "all" {
 		for _, e := range exps {
 			run(e)
 		}
-		fmt.Fprintln(os.Stderr, s.Summary())
+		finish()
 		return
 	}
 	for _, e := range exps {
 		if e.name == *exp {
 			run(e)
-			fmt.Fprintln(os.Stderr, s.Summary())
+			finish()
 			return
 		}
 	}
@@ -102,4 +129,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tflexexp: unknown experiment %q (want one of %s, all)\n", *exp, strings.Join(names, ", "))
 	os.Exit(2)
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

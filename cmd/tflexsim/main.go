@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -30,6 +31,10 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	jsonOut := flag.Bool("json", false, "emit statistics as JSON")
 	timeline := flag.String("timeline", "", "write a per-block lifecycle CSV to this file")
+	metrics := flag.String("metrics", "", "write the telemetry registry (counters/gauges/histograms) as JSON to this file")
+	chromeTrace := flag.String("chrome-trace", "", "write block lifecycles as a chrome://tracing event file")
+	sample := flag.String("sample", "", "write cycle-sampled occupancy time series as JSON to this file")
+	sampleEvery := flag.Uint64("sample-every", 256, "sampling interval in cycles for -sample")
 	sweep := flag.Bool("sweep", false, "run the kernel on every composition size concurrently and print the speedup curve")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs for -sweep (<=0: GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -70,6 +75,13 @@ func main() {
 	if *timeline != "" {
 		runCfg.OnBlock = func(ev tflex.BlockEvent) { events = append(events, ev) }
 	}
+	runCfg.CollectMetrics = *metrics != ""
+	if *chromeTrace != "" {
+		runCfg.ChromeTrace = tflex.NewTrace()
+	}
+	if *sample != "" {
+		runCfg.SampleEvery = *sampleEvery
+	}
 	res, err := tflex.RunKernel(*kernel, *scale, runCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tflexsim:", err)
@@ -77,6 +89,22 @@ func main() {
 	}
 	if *timeline != "" {
 		if err := writeTimeline(*timeline, events); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
+		}
+	}
+	for _, out := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{*metrics, func(w io.Writer) error { return res.Telemetry.WriteJSON(w) }},
+		{*chromeTrace, func(w io.Writer) error { return runCfg.ChromeTrace.WriteJSON(w) }},
+		{*sample, func(w io.Writer) error { return res.Samples.WriteJSON(w) }},
+	} {
+		if out.path == "" {
+			continue
+		}
+		if err := writeFile(out.path, out.write); err != nil {
 			fmt.Fprintln(os.Stderr, "tflexsim:", err)
 			os.Exit(1)
 		}
@@ -156,6 +184,19 @@ func runSweep(kernel string, scale, jobs int) error {
 	return nil
 }
 
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // writeTimeline dumps the block lifecycle events as CSV.
 func writeTimeline(path string, events []tflex.BlockEvent) error {
 	f, err := os.Create(path)
@@ -164,16 +205,18 @@ func writeTimeline(path string, events []tflex.BlockEvent) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"seq", "block", "owner", "fetched", "complete", "retired", "flushed", "useful"}); err != nil {
+	if err := w.Write([]string{"seq", "block", "owner_core", "fetch_start", "dispatch_done", "complete", "commit_start", "retired", "flushed", "useful"}); err != nil {
 		return err
 	}
 	for _, ev := range events {
 		rec := []string{
 			strconv.FormatUint(ev.Seq, 10),
 			ev.Name,
-			strconv.Itoa(ev.Owner),
-			strconv.FormatUint(ev.FetchedAt, 10),
+			strconv.Itoa(ev.OwnerCore),
+			strconv.FormatUint(ev.FetchStart, 10),
+			strconv.FormatUint(ev.DispatchDone, 10),
 			strconv.FormatUint(ev.CompleteAt, 10),
+			strconv.FormatUint(ev.CommitStart, 10),
 			strconv.FormatUint(ev.RetiredAt, 10),
 			strconv.FormatBool(ev.Flushed),
 			strconv.Itoa(ev.Useful),

@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"github.com/clp-sim/tflex/internal/power"
 	"github.com/clp-sim/tflex/internal/runner"
 	"github.com/clp-sim/tflex/internal/sim"
+	"github.com/clp-sim/tflex/internal/telemetry"
 	"github.com/clp-sim/tflex/internal/trips"
 )
 
@@ -47,6 +49,32 @@ type RunResult struct {
 	Cycles   uint64
 	Stats    sim.Stats
 	Counters power.Counters
+	Metrics  telemetry.Snapshot // end-of-run registry capture (see collect)
+}
+
+// fetchLatency recomputes Stats.FetchLatency from the registry snapshot.
+// Counter snapshots are float64(uint64), exact below 2^53, so these
+// quotients equal the flat-struct math bit for bit.
+func (r RunResult) fetchLatency() (constant, handOff, bcast, dispatch, istall float64) {
+	n := r.Metrics.Get("proc0.fetch.blocks")
+	if n == 0 {
+		return
+	}
+	return r.Metrics.Get("proc0.fetch.const_sum") / n,
+		r.Metrics.Get("proc0.fetch.handoff_sum") / n,
+		r.Metrics.Get("proc0.fetch.bcast_sum") / n,
+		r.Metrics.Get("proc0.fetch.dispatch_sum") / n,
+		r.Metrics.Get("proc0.fetch.istall_sum") / n
+}
+
+// commitLatency recomputes Stats.CommitLatency from the registry snapshot.
+func (r RunResult) commitLatency() (arch, handshake float64) {
+	n := r.Metrics.Get("proc0.commit.blocks")
+	if n == 0 {
+		return
+	}
+	return r.Metrics.Get("proc0.commit.arch_sum") / n,
+		r.Metrics.Get("proc0.commit.handshake_sum") / n
 }
 
 // Suite runs and caches the experiment simulations.  All Run methods are
@@ -89,6 +117,34 @@ func (s *Suite) SetJobs(n int) { s.engine.Workers = n }
 // SetProgress routes per-job progress lines (completion-ordered, with
 // wall-clock timing) to w; nil silences them.
 func (s *Suite) SetProgress(w io.Writer) { s.engine.Progress = w }
+
+// SetTrace records one Chrome trace span per executed simulation job on
+// the runner's worker tracks (real time, 1µs units).
+func (s *Suite) SetTrace(t *telemetry.Trace) { s.engine.Trace = t }
+
+// MetricsByJob returns every completed timing run's registry snapshot,
+// keyed by the runner job key (the Core2 model runs on the functional
+// trace and carries no registry).
+func (s *Suite) MetricsByJob() map[string]telemetry.Snapshot {
+	out := map[string]telemetry.Snapshot{}
+	s.tflex.Each(func(k sizedKey, r RunResult) { out[s.TFlexSpec(k.name, k.cores).Key()] = r.Metrics })
+	s.tripsR.Each(func(k string, r RunResult) { out[s.TRIPSSpec(k).Key()] = r.Metrics })
+	s.zeroHS.Each(func(k string, r RunResult) { out[s.ZeroHSSpec(k).Key()] = r.Metrics })
+	s.ablate.Each(func(k sizedKey, r RunResult) {
+		abl, kern, _ := strings.Cut(k.name, "/")
+		out[s.AblateSpec(abl, kern, k.cores).Key()] = r.Metrics
+	})
+	return out
+}
+
+// WriteMetrics serializes MetricsByJob as indented JSON.  Map keys
+// marshal in sorted order at both levels, so the file is deterministic
+// at any worker count.
+func (s *Suite) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.MetricsByJob())
+}
 
 // exec dispatches one declarative job spec to the matching run method.
 // Results land in the memoized stores keyed by spec, so the runner's
@@ -199,31 +255,42 @@ func (s *Suite) Summary() Summary {
 	return sum
 }
 
+// collect reads the run's power counters out of the chip's telemetry
+// registry (armed by runInstance before the run) and captures the full
+// registry snapshot — the experiment tables and the -metrics export
+// render from the same hierarchical names.  The operand-traffic number
+// (RouterFlits) is the registry's mesh hop counters; every counter view
+// reads the same field the flat Stats struct carries, so the tables stay
+// byte-identical to the pre-registry renderer.
 func collect(chip *sim.Chip, proc *sim.Proc, cores, fpus int) RunResult {
 	st := proc.Stats
+	reg := chip.Telemetry()
+	prefix := fmt.Sprintf("proc%d", proc.ID())
+	cv := reg.CounterValue
 	pc := power.Counters{
-		Cycles: st.Cycles,
+		Cycles: cv(prefix + ".cycles"),
 		Cores:  cores,
 		FPUs:   fpus,
 
-		BlockFetches: st.BlocksFetched,
-		Predictions:  proc.Pred.Stats.Predictions,
-		IntOps:       st.InstsFired - st.FPFired,
-		FPOps:        st.FPFired,
-		RegReads:     st.RegReads,
-		RegWrites:    st.RegWrites,
-		L1DAccesses:  chip.L1DStats().Accesses,
-		LSQOps:       st.Loads + st.Stores,
-		RouterFlits:  chip.Opn.Stats().Hops + chip.Ctl.Stats().Hops,
-		L2Accesses:   chip.L2.Stats.Accesses,
-		DRAMAccesses: chip.DRAM.Stats.Requests,
+		BlockFetches: cv(prefix + ".blocks.fetched"),
+		Predictions:  cv(prefix + ".pred.predictions"),
+		IntOps:       cv(prefix+".insts.fired") - cv(prefix+".insts.fp_fired"),
+		FPOps:        cv(prefix + ".insts.fp_fired"),
+		RegReads:     cv(prefix + ".reg.reads"),
+		RegWrites:    cv(prefix + ".reg.writes"),
+		L1DAccesses:  reg.SumCounters("", ".l1d.accesses"),
+		LSQOps:       cv(prefix+".mem.loads") + cv(prefix+".mem.stores"),
+		RouterFlits:  cv("noc.opnd.hops") + cv("noc.ctl.hops"),
+		L2Accesses:   cv("l2.accesses"),
+		DRAMAccesses: cv("dram.requests"),
 	}
-	return RunResult{Cycles: st.Cycles, Stats: st, Counters: pc}
+	return RunResult{Cycles: st.Cycles, Stats: st, Counters: pc, Metrics: reg.Snapshot()}
 }
 
 // runInstance executes one kernel instance on a chip/processor pair and
 // validates the outputs against the reference.
 func runInstance(inst *kernels.Instance, chip *sim.Chip, procCores compose.Processor, fpus int) (RunResult, error) {
+	chip.Telemetry() // arm metrics pre-run so histograms observe the blocks
 	proc, err := chip.AddProc(procCores, inst.Prog)
 	if err != nil {
 		return RunResult{}, err

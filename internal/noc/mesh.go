@@ -21,6 +21,7 @@ type link struct {
 	base  uint64 // earliest reservable cycle (requests clamp forward to it)
 	used  []uint16
 	stamp []uint64 // cycle+1 each slot currently describes; 0 = never used
+	flits uint64   // total flit traversals, exported per-link via telemetry
 }
 
 func (l *link) reserve(t uint64, bw uint16) uint64 {
@@ -45,6 +46,7 @@ func (l *link) reserve(t uint64, bw uint16) uint64 {
 		}
 		if l.used[idx] < bw {
 			l.used[idx]++
+			l.flits++
 			return t
 		}
 		t++

@@ -1,0 +1,42 @@
+package noc
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/telemetry"
+)
+
+// Register exposes the mesh's counters under prefix (e.g. "noc.opnd"):
+// aggregate message/hop/stall counts plus one flit counter per directed
+// on-grid link named "<prefix>.link.<from>.<to>.flits" by node ID.  All
+// entries are views over the mesh's own fields — registration adds no
+// cost to Send/Multicast.
+func (m *Mesh) Register(r *telemetry.Registry, prefix string) {
+	r.CounterView(prefix+".messages", &m.stats.Messages)
+	r.CounterView(prefix+".hops", &m.stats.Hops)
+	r.CounterView(prefix+".stall_cycles", &m.stats.StallCycles)
+	r.CounterView(prefix+".local_deliveries", &m.stats.LocalDeliveries)
+	for node := 0; node < m.W*m.H; node++ {
+		x, y := m.XY(node)
+		neighbor := [4]int{-1, -1, -1, -1} // by dirE/dirW/dirN/dirS
+		if x < m.W-1 {
+			neighbor[dirE] = node + 1
+		}
+		if x > 0 {
+			neighbor[dirW] = node - 1
+		}
+		if y > 0 {
+			neighbor[dirN] = node - m.W
+		}
+		if y < m.H-1 {
+			neighbor[dirS] = node + m.W
+		}
+		for dir, to := range neighbor {
+			if to < 0 {
+				continue // edge link off the grid: never reservable
+			}
+			name := fmt.Sprintf("%s.link.%d.%d.flits", prefix, node, to)
+			r.CounterView(name, &m.links[node*4+dir].flits)
+		}
+	}
+}

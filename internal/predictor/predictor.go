@@ -78,9 +78,13 @@ func newCorePred(p compose.CoreParams) *corePred {
 	}
 }
 
-// Stats counts predictor events.
+// Stats counts predictor events.  Hits and Mispredicts count trained
+// (committed) outcomes only, so Hits+Mispredicts is the number of blocks
+// the accuracy is measured over; Predictions also includes wrong-path
+// predictions that were flushed before training.
 type Stats struct {
 	Predictions   uint64
+	Hits          uint64 // trained predictions whose next-block address was right
 	ExitMiss      uint64
 	TargetMiss    uint64
 	Mispredicts   uint64 // wrong next-block address for any reason
@@ -88,6 +92,16 @@ type Stats struct {
 	RASPushes     uint64
 	RASPops       uint64
 	RASUnderflows uint64
+}
+
+// Accuracy returns the fraction of trained predictions that named the
+// right next block, or 0 before any block has committed.
+func (s *Stats) Accuracy() float64 {
+	trained := s.Hits + s.Mispredicts
+	if trained == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(trained)
 }
 
 // Prediction is the output of one next-block prediction, along with the
@@ -321,6 +335,8 @@ func (c *Composed) Train(p *Prediction, actualExit uint8, actualType isa.BranchT
 	}
 	if p.Next != actualTarget {
 		c.Stats.Mispredicts++
+	} else {
+		c.Stats.Hits++
 	}
 }
 

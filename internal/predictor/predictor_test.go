@@ -249,3 +249,52 @@ func TestOwnerDistribution(t *testing.T) {
 		}
 	}
 }
+
+// Satellite: accuracy counters pinned on a known branch pattern.  Block A
+// repeats exits 1,1,1,0 (a loop taken three times, then the exit) with a
+// fixed exit→target mapping; the tournament + local history learn the
+// period-4 pattern, so after warmup every trained prediction is a hit.
+func TestAccuracyCountersOnKnownPattern(t *testing.T) {
+	p := newPred(2)
+	var hist History
+	run := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			exit := uint8(1)
+			target := blockA // loop back
+			if i%4 == 3 {
+				exit = 0
+				target = blockB // loop exit
+			}
+			pred, h2 := p.Predict(blockA, hist)
+			ok, fixed := p.Resolve(&pred, exit, isa.BranchRegular, target)
+			hist = h2
+			if !ok {
+				hist = fixed
+			}
+		}
+	}
+	const warmup, steady = 400, 100
+	run(warmup)
+	warmHits, warmMiss := p.Stats.Hits, p.Stats.Mispredicts
+	if warmMiss == 0 {
+		t.Fatal("cold predictor cannot be perfect: expected warmup mispredicts")
+	}
+	if warmHits+warmMiss != warmup || p.Stats.Predictions != warmup {
+		t.Fatalf("hits+mispredicts = %d+%d, predictions = %d; all must equal %d trained blocks",
+			warmHits, warmMiss, p.Stats.Predictions, warmup)
+	}
+	run(steady)
+	if miss := p.Stats.Mispredicts - warmMiss; miss != 0 {
+		t.Fatalf("%d mispredicts on the learned pattern, want 0", miss)
+	}
+	if hits := p.Stats.Hits - warmHits; hits != steady {
+		t.Fatalf("steady-state hits = %d, want %d", hits, steady)
+	}
+	want := float64(p.Stats.Hits) / float64(p.Stats.Hits+p.Stats.Mispredicts)
+	if got := p.Stats.Accuracy(); got != want {
+		t.Fatalf("Accuracy() = %v, want %v", got, want)
+	}
+	if got := (&Stats{}).Accuracy(); got != 0 {
+		t.Fatalf("zero-stats accuracy = %v, want 0", got)
+	}
+}

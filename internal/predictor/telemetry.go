@@ -1,0 +1,19 @@
+package predictor
+
+import "github.com/clp-sim/tflex/internal/telemetry"
+
+// Register exposes the composed predictor's counters under prefix
+// (e.g. "proc0.pred") as views over its own stats fields, plus a derived
+// accuracy gauge.
+func (c *Composed) Register(r *telemetry.Registry, prefix string) {
+	r.CounterView(prefix+".predictions", &c.Stats.Predictions)
+	r.CounterView(prefix+".hits", &c.Stats.Hits)
+	r.CounterView(prefix+".exit_miss", &c.Stats.ExitMiss)
+	r.CounterView(prefix+".target_miss", &c.Stats.TargetMiss)
+	r.CounterView(prefix+".mispredicts", &c.Stats.Mispredicts)
+	r.CounterView(prefix+".flushes", &c.Stats.Flushes)
+	r.CounterView(prefix+".ras.pushes", &c.Stats.RASPushes)
+	r.CounterView(prefix+".ras.pops", &c.Stats.RASPops)
+	r.CounterView(prefix+".ras.underflows", &c.Stats.RASUnderflows)
+	r.Gauge(prefix+".accuracy", func() float64 { return c.Stats.Accuracy() })
+}

@@ -31,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/clp-sim/tflex/internal/telemetry"
 )
 
 // Spec declaratively identifies one simulation job.
@@ -94,11 +96,21 @@ type Engine struct {
 	// follows completion, so route Progress to stderr (or nowhere) when
 	// byte-stable output matters.
 	Progress io.Writer
+	// Trace, if non-nil, records one Chrome span per executed job on its
+	// worker's track (pid runnerTracePID, tid = worker index).  Runner
+	// spans use real microseconds since the engine's first Run, unlike
+	// the simulator's cycle-denominated block spans.
+	Trace *telemetry.Trace
 
 	mu        sync.Mutex
 	sum       Summary
+	epoch     time.Time         // first Run's start; trace span time zero
 	completed map[string]Result // merged results of every finished job, by key
 }
+
+// runnerTracePID groups runner job spans in the trace viewer, well away
+// from the simulator's proc-id process groups (which start at 0).
+const runnerTracePID = 1000
 
 func (e *Engine) workers() int {
 	if e.Workers > 0 {
@@ -120,6 +132,13 @@ func (e *Engine) Run(specs []Spec) ([]Result, error) {
 		return nil, fmt.Errorf("runner: Engine.Exec is nil")
 	}
 	start := time.Now()
+	e.mu.Lock()
+	if e.epoch.IsZero() {
+		e.epoch = start
+		e.Trace.NameProcess(runnerTracePID, "runner")
+	}
+	epoch := e.epoch
+	e.mu.Unlock()
 
 	// Dedupe by key, preserving first-occurrence order.
 	seen := make(map[string]bool, len(specs))
@@ -159,14 +178,20 @@ func (e *Engine) Run(specs []Spec) ([]Result, error) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			if e.Trace != nil {
+				e.Trace.NameThread(runnerTracePID, w, fmt.Sprintf("worker%d", w))
+			}
 			for i := range idxCh {
 				sp := unique[i]
 				t0 := time.Now()
 				err := e.Exec(sp)
 				wall := time.Since(t0)
 				results[i] = Result{Spec: sp, Err: err, Wall: wall}
+				e.Trace.Span(runnerTracePID, w, sp.Key(), "job",
+					uint64(t0.Sub(epoch).Microseconds()),
+					uint64(t0.Add(wall).Sub(epoch).Microseconds()), nil)
 				e.mu.Lock()
 				done++
 				if e.Progress != nil {
@@ -179,7 +204,7 @@ func (e *Engine) Run(specs []Spec) ([]Result, error) {
 				}
 				e.mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	for _, i := range pending {
 		idxCh <- i

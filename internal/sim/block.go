@@ -104,13 +104,20 @@ type IFB struct {
 	deallocDone    bool
 	deallocAt      uint64
 
-	// Fetch timing records (Figure 9a).
-	tHandOff    uint64
+	// Fetch timing records (Figure 9a).  tFetchStart is the cycle the
+	// fetch pipeline began (prediction + hand-off receipt); the phase
+	// boundaries exported in BlockEvent derive from it and the component
+	// latencies below.
+	tFetchStart uint64
 	constLat    uint64
 	handOffLat  uint64
 	bcastLat    uint64
 	dispatchLat uint64
 	icacheStall uint64
+
+	// commitStart is the cycle the four-phase commit protocol launched
+	// (Figure 9b), recorded for BlockEvent/commit-latency telemetry.
+	commitStart uint64
 }
 
 // writeSlotOf returns the write-slot index for reg, if the block writes it.

@@ -10,6 +10,7 @@ import (
 	"github.com/clp-sim/tflex/internal/mem"
 	"github.com/clp-sim/tflex/internal/noc"
 	"github.com/clp-sim/tflex/internal/prog"
+	"github.com/clp-sim/tflex/internal/telemetry"
 )
 
 // Chip is the simulated 32-core CLP with its networks, private L1 D-caches
@@ -38,6 +39,15 @@ type Chip struct {
 	err      error
 
 	onHalt func(*Proc)
+
+	// Telemetry (see telemetry.go): all nil/disarmed by default.  The
+	// event loop pays one uint64 compare per event against sampleAt
+	// (+inf when no sampler is armed); everything else is reached only
+	// through nil-safe calls.
+	tel      *telemetry.Registry
+	trace    *telemetry.Trace
+	sampler  *telemetry.Sampler
+	sampleAt uint64
 }
 
 // OnProcHalt installs a hook invoked (inside the event loop) whenever a
@@ -48,7 +58,7 @@ func (c *Chip) OnProcHalt(fn func(*Proc)) { c.onHalt = fn }
 // New builds a chip with the given options.
 func New(opts Options) *Chip {
 	p := opts.Params
-	c := &Chip{Opts: opts}
+	c := &Chip{Opts: opts, sampleAt: ^uint64(0)}
 	c.Opn = noc.NewMesh(compose.ArrayW, compose.ArrayH, p.OperandBW)
 	c.Ctl = noc.NewMesh(compose.ArrayW, compose.ArrayH, p.ControlBW)
 	c.DRAM = mem.NewDRAM(uint64(p.DRAMCycles), 2, 4)
@@ -101,6 +111,9 @@ func (c *Chip) l1dAt(core int) *mem.Cache {
 		p := c.Opts.Params
 		cache = mem.NewCache(p.L1DBytes, p.L1DAssoc, p.LineBytes)
 		c.l1d[core] = cache
+		if c.tel != nil {
+			cache.Register(c.tel, fmt.Sprintf("core%d.l1d", core))
+		}
 	}
 	return cache
 }
@@ -169,6 +182,7 @@ func (c *Chip) AddProc(cores compose.Processor, program *prog.Program) (*Proc, e
 	}
 	pr := newProc(c, len(c.Procs), cores.Cores, program, exec.NewPageMem())
 	c.Procs = append(c.Procs, pr)
+	c.attachProcTelemetry(pr)
 	pr.start()
 	return pr, nil
 }
@@ -184,6 +198,7 @@ func (c *Chip) AddProcShared(cores compose.Processor, program *prog.Program, fro
 	pr := newProc(c, from.id, cores.Cores, program, from.Mem)
 	pr.Regs = from.Regs
 	c.Procs = append(c.Procs, pr)
+	c.attachProcTelemetry(pr)
 	pr.start()
 	return pr, nil
 }
@@ -211,6 +226,9 @@ func (c *Chip) Run(maxCycles uint64) error {
 			return fmt.Errorf("sim: exceeded %d cycles (running: %s)", maxCycles, c.runningProcs())
 		}
 		c.now = e.at
+		if c.now >= c.sampleAt {
+			c.takeSamples()
+		}
 		c.dispatch(&e)
 	}
 	if c.err != nil {

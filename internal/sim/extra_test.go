@@ -28,8 +28,13 @@ func TestBlockTraceObservesLifecycle(t *testing.T) {
 			flushed++
 		} else {
 			committed++
-			if ev.RetiredAt < ev.FetchedAt {
+			if ev.RetiredAt < ev.FetchStart {
 				t.Fatalf("block %d retired before fetch", ev.Seq)
+			}
+			if ev.DispatchDone < ev.FetchStart || ev.CommitStart < ev.CompleteAt ||
+				ev.RetiredAt < ev.CommitStart {
+				t.Fatalf("block %d phases out of order: fetch %d dispatch %d complete %d commit %d retire %d",
+					ev.Seq, ev.FetchStart, ev.DispatchDone, ev.CompleteAt, ev.CommitStart, ev.RetiredAt)
 			}
 			if ev.Seq < lastSeq {
 				t.Fatal("commits out of order in trace")

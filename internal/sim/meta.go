@@ -210,10 +210,11 @@ func resetIFB(b *IFB, p *Proc, m *blockMeta, seq uint64, hist predictor.History)
 	b.deallocDone = false
 	b.deallocAt = 0
 
-	b.tHandOff = 0
+	b.tFetchStart = 0
 	b.constLat = 0
 	b.handOffLat = 0
 	b.bcastLat = 0
 	b.dispatchLat = 0
 	b.icacheStall = 0
+	b.commitStart = 0
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/clp-sim/tflex/internal/mem"
 	"github.com/clp-sim/tflex/internal/predictor"
 	"github.com/clp-sim/tflex/internal/prog"
+	"github.com/clp-sim/tflex/internal/telemetry"
 )
 
 // Proc is one composed logical processor executing one thread.
@@ -73,6 +74,12 @@ type Proc struct {
 
 	blockTrace func(BlockEvent)
 
+	// Latency histograms, non-nil only once the chip's telemetry registry
+	// is built; Observe is nil-safe, so the disabled path costs one nil
+	// check per committed block.
+	hFetchLat  *telemetry.Histogram
+	hCommitLat *telemetry.Histogram
+
 	Stats Stats
 }
 
@@ -132,6 +139,9 @@ func idxRange(n int) []int {
 	}
 	return v
 }
+
+// ID returns the processor's logical ID (its telemetry "proc<id>" prefix).
+func (p *Proc) ID() int { return p.id }
 
 // Cores returns the physical core IDs composing the processor.
 func (p *Proc) Cores() []int { return append([]int(nil), p.cores...) }
@@ -276,7 +286,7 @@ func (p *Proc) fetchBlock() {
 		// Non-speculative: the next address comes from branch resolution.
 		p.fetch.valid = false
 	}
-	b.tHandOff = t0
+	b.tFetchStart = t0
 
 	// I-cache tag check at the owner; misses fill from the L2.
 	cmdStart := t0 + constLat
@@ -489,6 +499,7 @@ func (p *Proc) startCommit(b *IFB) {
 	p.lastCommitStart = start
 	p.lastCommitOwner = b.owner
 	p.anyCommitted = true
+	b.commitStart = start
 
 	// Phase 2: commit command to all participating cores (tree multicast).
 	cmdArr := p.mcArr
@@ -646,6 +657,8 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 	p.Stats.FetchBcastSum += b.bcastLat
 	p.Stats.FetchDispatchSum += b.dispatchLat
 	p.Stats.FetchIStallSum += b.icacheStall
+	p.hFetchLat.Observe(b.constLat + b.handOffLat + b.bcastLat + b.dispatchLat + b.icacheStall)
+	p.hCommitLat.Observe(t - b.commitStart)
 
 	if b.specNext {
 		p.Pred.Train(&b.pred, b.actual.Exit, b.actual.Op.Type(), b.actual.Target)

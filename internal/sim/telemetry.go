@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/telemetry"
+)
+
+// Telemetry integration.  The registry, Chrome trace and sampler are all
+// opt-in; a chip that never calls into this file carries three nil
+// pointers and a +inf sample cycle, and the simulation hot paths pay
+// only the nil checks audited in DESIGN.md ("Telemetry").
+//
+// Naming scheme:
+//
+//	proc<id>.*                    per logical processor (blocks, insts,
+//	                              fetch/commit phase sums, pred.*, l1i.*)
+//	proc<id>.core<phys>.issued    per-core issue counts
+//	core<phys>.l1d.* core<phys>.lsq.*   per physical core
+//	noc.opnd.* noc.ctl.*          meshes, incl. .link.<a>.<b>.flits
+//	l2.* dram.*                   shared memory system
+//
+// Counters are views over the fields the components already increment;
+// only histograms, gauges, the sampler and the Chrome trace do work at
+// collection time.
+
+// Telemetry returns the chip's metric registry, building it on first use
+// by registering every existing component.  Components created later
+// (lazy L1s, processors added by a run-time scheduler) register
+// themselves on creation.
+func (c *Chip) Telemetry() *telemetry.Registry {
+	if c.tel != nil {
+		return c.tel
+	}
+	c.tel = telemetry.NewRegistry()
+	c.Opn.Register(c.tel, "noc.opnd")
+	c.Ctl.Register(c.tel, "noc.ctl")
+	c.L2.Register(c.tel, "l2")
+	c.DRAM.Register(c.tel, "dram")
+	for core, cache := range c.l1d {
+		if cache != nil {
+			cache.Register(c.tel, fmt.Sprintf("core%d.l1d", core))
+		}
+	}
+	for _, p := range c.Procs {
+		p.register(c.tel)
+	}
+	return c.tel
+}
+
+// SetChromeTrace installs a Chrome trace collector: every retired block
+// contributes fetch/execute/commit spans on its owner core's track (one
+// simulated cycle = 1µs of trace time).  Pass nil to stop tracing.
+func (c *Chip) SetChromeTrace(t *telemetry.Trace) {
+	c.trace = t
+	for _, p := range c.Procs {
+		c.nameProcTracks(p)
+	}
+}
+
+// SampleEvery arms the cycle sampler: one row every interval cycles,
+// tracking window and LSQ occupancy and committed instructions for every
+// processor.  Returns the sampler for rendering after the run.
+func (c *Chip) SampleEvery(interval uint64) *telemetry.Sampler {
+	c.sampler = telemetry.NewSampler(interval)
+	c.sampleAt = c.now + c.sampler.Interval()
+	for _, p := range c.Procs {
+		c.trackProc(p)
+	}
+	return c.sampler
+}
+
+// takeSamples records rows for every due sample point.  Run calls it at
+// most once per popped event, so sample cycles land on exact interval
+// multiples even when event time jumps over several of them.
+func (c *Chip) takeSamples() {
+	iv := c.sampler.Interval()
+	for c.sampleAt <= c.now {
+		c.sampler.Sample(c.sampleAt)
+		c.sampleAt += iv
+	}
+}
+
+// attachProcTelemetry hooks a newly added processor into whichever
+// telemetry facilities are already active.
+func (c *Chip) attachProcTelemetry(p *Proc) {
+	if c.tel != nil {
+		p.register(c.tel)
+	}
+	if c.trace != nil {
+		c.nameProcTracks(p)
+	}
+	if c.sampler != nil {
+		c.trackProc(p)
+	}
+}
+
+func (c *Chip) nameProcTracks(p *Proc) {
+	c.trace.NameProcess(p.id, fmt.Sprintf("proc%d", p.id))
+	for _, core := range p.cores {
+		c.trace.NameThread(p.id, core, fmt.Sprintf("core%d", core))
+	}
+}
+
+func (c *Chip) trackProc(p *Proc) {
+	prefix := fmt.Sprintf("proc%d", p.id)
+	c.sampler.Track(prefix+".window.occupancy", func() float64 { return float64(len(p.window)) })
+	c.sampler.Track(prefix+".insts.committed", func() float64 { return float64(p.Stats.InstsCommitted) })
+	c.sampler.Track(prefix+".lsq.occupancy", func() float64 {
+		occ := 0
+		for _, bank := range p.lsq {
+			occ += bank.Occupancy()
+		}
+		return float64(occ)
+	})
+}
+
+// register exposes the processor and its private components.  A
+// recomposed processor (AddProcShared) reuses its predecessor's ID, so
+// re-registration replaces the old views — the registry always reflects
+// the live composition.
+func (p *Proc) register(r *telemetry.Registry) {
+	prefix := fmt.Sprintf("proc%d", p.id)
+	p.Stats.register(r, prefix)
+	p.Pred.Register(r, prefix+".pred")
+	p.l1i.Register(r, prefix+".l1i")
+	for i := range p.lsq {
+		p.lsq[i].Register(r, fmt.Sprintf("core%d.lsq", p.phys(p.dbanks[i])))
+	}
+	for i := range p.Stats.IssuedByCore {
+		r.CounterView(fmt.Sprintf("%s.core%d.issued", prefix, p.phys(i)), &p.Stats.IssuedByCore[i])
+	}
+	r.Gauge(prefix+".window.occupancy", func() float64 { return float64(len(p.window)) })
+	p.hFetchLat = r.Histogram(prefix + ".fetch.latency")
+	p.hCommitLat = r.Histogram(prefix + ".commit.latency")
+}
+
+// register exposes every Stats counter under prefix — the registry view
+// the flat struct has become; the fields stay the storage the hot paths
+// increment.
+func (s *Stats) register(r *telemetry.Registry, prefix string) {
+	for _, m := range []struct {
+		name string
+		f    *uint64
+	}{
+		{"cycles", &s.Cycles},
+		{"blocks.fetched", &s.BlocksFetched},
+		{"blocks.committed", &s.BlocksCommitted},
+		{"blocks.flushed", &s.BlocksFlushed},
+		{"insts.committed", &s.InstsCommitted},
+		{"insts.fired", &s.InstsFired},
+		{"insts.fp_fired", &s.FPFired},
+		{"mem.loads", &s.Loads},
+		{"mem.stores", &s.Stores},
+		{"flush.branch", &s.BranchFlushes},
+		{"flush.violation", &s.ViolationFlushes},
+		{"flush.lsq_overflow", &s.LSQOverflowFlushes},
+		{"lsq.nacks", &s.LSQNACKs},
+		{"fetch.icache_misses", &s.ICacheMisses},
+		{"reg.reads", &s.RegReads},
+		{"reg.writes", &s.RegWrites},
+		{"fetch.blocks", &s.FetchBlocks},
+		{"fetch.const_sum", &s.FetchConstSum},
+		{"fetch.handoff_sum", &s.FetchHandOffSum},
+		{"fetch.bcast_sum", &s.FetchBcastSum},
+		{"fetch.dispatch_sum", &s.FetchDispatchSum},
+		{"fetch.istall_sum", &s.FetchIStallSum},
+		{"commit.blocks", &s.CommitBlocks},
+		{"commit.arch_sum", &s.CommitArchSum},
+		{"commit.handshake_sum", &s.CommitHandshakeSum},
+	} {
+		r.CounterView(prefix+"."+m.name, m.f)
+	}
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/telemetry"
+)
+
+// Satellite: Stats derived-metric edge cases.  A zero-cycle Stats (the
+// processor never halted) and a zero-block Stats must report inert
+// values rather than dividing by zero.
+func TestStatsZeroCycleAndZeroBlockEdgeCases(t *testing.T) {
+	var s Stats
+	s.IssuedByCore = []uint64{5, 7}
+	if got := s.Utilization(); got != nil {
+		t.Fatalf("Utilization with 0 cycles = %v, want nil", got)
+	}
+	if got := s.IPC(); got != 0 {
+		t.Fatalf("IPC with 0 cycles = %v, want 0", got)
+	}
+	c, h, b, d, i := s.FetchLatency()
+	if c != 0 || h != 0 || b != 0 || d != 0 || i != 0 {
+		t.Fatalf("FetchLatency with 0 blocks = %v %v %v %v %v, want zeros", c, h, b, d, i)
+	}
+	arch, hs := s.CommitLatency()
+	if arch != 0 || hs != 0 {
+		t.Fatalf("CommitLatency with 0 blocks = %v %v, want zeros", arch, hs)
+	}
+
+	// Sums without blocks (pathological) still must not divide by zero;
+	// with blocks, the averages are the exact float64 quotients.
+	s = Stats{FetchBlocks: 4, FetchConstSum: 10, FetchHandOffSum: 2,
+		FetchBcastSum: 6, FetchDispatchSum: 8, FetchIStallSum: 0,
+		CommitBlocks: 2, CommitArchSum: 5, CommitHandshakeSum: 9}
+	c, h, b, d, i = s.FetchLatency()
+	if c != 2.5 || h != 0.5 || b != 1.5 || d != 2 || i != 0 {
+		t.Fatalf("FetchLatency = %v %v %v %v %v", c, h, b, d, i)
+	}
+	arch, hs = s.CommitLatency()
+	if arch != 2.5 || hs != 4.5 {
+		t.Fatalf("CommitLatency = %v %v", arch, hs)
+	}
+	s.Cycles = 10
+	s.IssuedByCore = []uint64{20, 5}
+	u := s.Utilization()
+	if len(u) != 2 || u[0] != 2 || u[1] != 0.5 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
+
+// End-to-end: run a kernel with the full telemetry stack armed and check
+// that the registry views match the flat stats, the histograms saw every
+// committed block, the sampler rowed the run, and the Chrome trace holds
+// per-core spans.
+func TestChipTelemetryEndToEnd(t *testing.T) {
+	p := sumProgram(t)
+	chip := New(DefaultOptions())
+	reg := chip.Telemetry() // armed before AddProc: components self-register
+	trace := &telemetry.Trace{}
+	chip.SetChromeTrace(trace)
+	samp := chip.SampleEvery(16)
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 30
+	if err := chip.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Counter views read the live component fields.
+	checks := map[string]uint64{
+		"proc0.blocks.committed": proc.Stats.BlocksCommitted,
+		"proc0.blocks.fetched":   proc.Stats.BlocksFetched,
+		"proc0.insts.committed":  proc.Stats.InstsCommitted,
+		"proc0.fetch.const_sum":  proc.Stats.FetchConstSum,
+		"proc0.commit.arch_sum":  proc.Stats.CommitArchSum,
+		"proc0.cycles":           proc.Stats.Cycles,
+		"proc0.pred.predictions": proc.Pred.Stats.Predictions,
+		"proc0.pred.hits":        proc.Pred.Stats.Hits,
+		"noc.ctl.messages":       chip.Ctl.Stats().Messages,
+		"l2.accesses":            chip.L2.Stats.Accesses,
+	}
+	for name, want := range checks {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.SumCounters("", ".l1d.accesses"); got != chip.L1DStats().Accesses {
+		t.Errorf("sum l1d.accesses = %d, want %d", got, chip.L1DStats().Accesses)
+	}
+	// Per-link flits sum to the mesh hop count.
+	if got := reg.SumCounters("noc.ctl.link.", ".flits"); got != chip.Ctl.Stats().Hops {
+		t.Errorf("sum ctl link flits = %d, want %d hops", got, chip.Ctl.Stats().Hops)
+	}
+
+	// Histograms observed one sample per committed block.
+	fh := reg.HistogramOf("proc0.fetch.latency")
+	ch := reg.HistogramOf("proc0.commit.latency")
+	if fh.Count() != proc.Stats.FetchBlocks || ch.Count() != proc.Stats.BlocksCommitted {
+		t.Errorf("histogram counts = %d/%d, want %d/%d",
+			fh.Count(), ch.Count(), proc.Stats.FetchBlocks, proc.Stats.BlocksCommitted)
+	}
+	if fh.Sum() != proc.Stats.FetchConstSum+proc.Stats.FetchHandOffSum+
+		proc.Stats.FetchBcastSum+proc.Stats.FetchDispatchSum+proc.Stats.FetchIStallSum {
+		t.Errorf("fetch histogram sum = %d does not match the Stats sums", fh.Sum())
+	}
+
+	// The sampler rowed the run at its interval.
+	wantRows := int(proc.Stats.Cycles / 16)
+	if samp.Len() < wantRows-1 || samp.Len() > wantRows+1 {
+		t.Errorf("sampler rows = %d over %d cycles at interval 16", samp.Len(), proc.Stats.Cycles)
+	}
+	series := samp.Series()
+	if len(series) != 3 || series[0].Name != "proc0.window.occupancy" {
+		t.Fatalf("series = %+v", series)
+	}
+
+	// Chrome trace: valid JSON, a track per participating core, three
+	// spans per committed block.
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace JSON invalid: %v", err)
+	}
+	spans := map[string]int{}
+	tracks := map[int]bool{}
+	threadNames := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans[ev.Cat]++
+			tracks[ev.TID] = true
+			if ev.PID != 0 {
+				t.Fatalf("span pid = %d, want proc id 0", ev.PID)
+			}
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[fmt.Sprint(ev.Args["name"])] = true
+			}
+		}
+	}
+	retired := int(proc.Stats.BlocksCommitted + proc.Stats.BlocksFlushed)
+	if spans["fetch"] != retired || spans["execute"] != retired {
+		t.Errorf("fetch/execute spans = %d/%d, want %d each", spans["fetch"], spans["execute"], retired)
+	}
+	if spans["commit"] != int(proc.Stats.BlocksCommitted) {
+		t.Errorf("commit spans = %d, want %d", spans["commit"], proc.Stats.BlocksCommitted)
+	}
+	for _, core := range proc.Cores() {
+		if !threadNames[fmt.Sprintf("core%d", core)] {
+			t.Errorf("missing thread_name for core%d", core)
+		}
+	}
+	if len(tracks) == 0 {
+		t.Error("no span tracks recorded")
+	}
+	for tid := range tracks {
+		found := false
+		for _, core := range proc.Cores() {
+			if tid == core {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("span on track %d, not a participating core", tid)
+		}
+	}
+
+	// Registry export is valid JSON with the hierarchical names.
+	buf.Reset()
+	if err := reg.WriteJSON(&buf); err != nil || !json.Valid(buf.Bytes()) {
+		t.Fatalf("registry JSON invalid (err=%v)", err)
+	}
+}
+
+// Telemetry armed only after the run (the experiments path): snapshot
+// still reads every counter, and the disabled-during-run instrumentation
+// stayed inert.
+func TestTelemetryAttachAfterRun(t *testing.T) {
+	p := sumProgram(t)
+	chip := New(DefaultOptions())
+	proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Regs[1] = 30
+	if err := chip.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := chip.Telemetry().Snapshot()
+	if got := snap.Get("proc0.blocks.committed"); got != float64(proc.Stats.BlocksCommitted) {
+		t.Fatalf("post-run snapshot blocks.committed = %v, want %d", got, proc.Stats.BlocksCommitted)
+	}
+	if got := snap.Get("proc0.fetch.latency.count"); got != 0 {
+		t.Fatalf("histogram observed %v blocks while disabled, want 0", got)
+	}
+}

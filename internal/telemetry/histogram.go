@@ -1,0 +1,89 @@
+package telemetry
+
+import "math/bits"
+
+// Histogram accumulates uint64 samples into power-of-two buckets:
+// bucket 0 holds the value 0, bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+// That is the classic latency-distribution shape — cheap (one bits.Len64
+// per observation), fixed-size, and exact about counts.
+//
+// All methods are nil-safe: a disabled instrumentation point holds a nil
+// *Histogram and each Observe call compiles to a nil check.
+type Histogram struct {
+	counts [65]uint64
+	sum    uint64
+	total  uint64
+}
+
+// bucketIndex maps a sample to its bucket: bits.Len64(0)=0, so zero
+// lands in bucket 0 and v>=1 lands in bucket floor(log2(v))+1.
+func bucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive [lo, hi] range of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = 1 << uint(i-1)
+	if i == 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, 1<<uint(i) - 1
+}
+
+// Observe records one sample.  Safe on nil.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Bucket is one non-empty histogram bucket with its value range.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets lists the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return out
+}

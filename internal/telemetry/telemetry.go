@@ -1,0 +1,271 @@
+// Package telemetry is the chip-wide observability layer: a registry of
+// typed counters, gauges and power-of-two-bucket histograms registered
+// under hierarchical dotted names ("core3.lsq.nacks",
+// "noc.opnd.link.3.4.flits"), a cycle-sampled time-series sampler, and a
+// Chrome trace-event exporter for block/job lifecycles.
+//
+// Design rules (see DESIGN.md, "Telemetry"):
+//
+//   - Counters are usually *views* over a component's own uint64 field
+//     (gem5-style): the component keeps incrementing its field on the hot
+//     path exactly as before, and the registry only reads it at snapshot
+//     time.  Registering a metric therefore costs nothing per simulated
+//     event.
+//   - Active instrumentation (histograms, the sampler, the Chrome trace)
+//     is reached through nil-safe methods: when telemetry is disabled the
+//     pointers are nil and each call site compiles to a nil check.
+//   - Snapshot/WriteJSON iterate names in sorted order, so all exported
+//     artifacts are deterministic.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.  A counter either
+// owns its storage (Registry.Counter) or is a read-only view over a
+// component-owned field (Registry.CounterView).  Owned counters are
+// atomic — they sit off the simulator hot path, so the atomicity is free
+// for the simulation and lets harness code count from many goroutines.
+// View sources stay plain fields incremented by their single owning
+// simulation goroutine; reading a view mid-run from another goroutine is
+// outside the sharing model (one registry per chip, snapshots after the
+// run or from the chip's own event loop).
+type Counter struct {
+	own atomic.Uint64
+	ext *uint64 // non-nil for views
+}
+
+// Add increments an owned counter.  Safe on nil (disabled telemetry).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.own.Add(n)
+	}
+}
+
+// Inc increments an owned counter by one.  Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	if c.ext != nil {
+		return *c.ext
+	}
+	return c.own.Load()
+}
+
+// Gauge is an instantaneous value computed on demand.
+type Gauge struct{ fn func() float64 }
+
+// Value evaluates the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// Registry maps hierarchical metric names to counters, gauges and
+// histograms.  Registration replaces any previous metric of the same
+// name (a recomposed processor re-registers its cores).  All methods are
+// safe for concurrent use; the intended sharing model is still
+// one registry per chip (see the overhead contract in DESIGN.md).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter registers (or returns the existing) registry-owned counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok && c.ext == nil {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// CounterView registers name as a view over src, a counter field owned
+// and incremented by the component itself.  The hot path keeps writing
+// the field directly; the registry reads it only at snapshot time.
+func (r *Registry) CounterView(name string, src *uint64) {
+	r.mu.Lock()
+	r.counters[name] = &Counter{ext: src}
+	r.mu.Unlock()
+}
+
+// Gauge registers a derived instantaneous metric.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	r.gauges[name] = &Gauge{fn: fn}
+	r.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// CounterValue reads one counter exactly (0 when unregistered).
+func (r *Registry) CounterValue(name string) uint64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	return c.Value()
+}
+
+// SumCounters adds up every counter whose name starts with prefix and
+// ends with suffix (either may be empty).  uint64 addition is
+// order-independent, so the result is deterministic regardless of map
+// iteration order.
+func (r *Registry) SumCounters(prefix, suffix string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sum uint64
+	for name, c := range r.counters {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			sum += c.Value()
+		}
+	}
+	return sum
+}
+
+// HistogramOf returns the named histogram, or nil.
+func (r *Registry) HistogramOf(name string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hists[name]
+}
+
+// Names lists every registered metric name in sorted order (histograms
+// appear once under their base name).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot is a flat, point-in-time copy of the registry: counter and
+// gauge values by name, plus "<hist>.count", "<hist>.sum" and
+// "<hist>.mean" per histogram.  Counter values are exact in float64 for
+// counts below 2^53 — far beyond any simulated quantity — so arithmetic
+// on a snapshot reproduces the same float64 results as the raw fields.
+type Snapshot map[string]float64
+
+// Get reads one snapshot entry (0 when absent).
+func (s Snapshot) Get(name string) float64 { return s[name] }
+
+// Sum adds every entry whose name starts with prefix and ends with
+// suffix, in sorted-name order for determinism.
+func (s Snapshot) Sum(prefix, suffix string) float64 {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, suffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var sum float64
+	for _, n := range names {
+		sum += s[n]
+	}
+	return sum
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(Snapshot, len(r.counters)+len(r.gauges)+3*len(r.hists))
+	for n, c := range r.counters {
+		s[n] = float64(c.Value())
+	}
+	for n, g := range r.gauges {
+		s[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s[n+".count"] = float64(h.Count())
+		s[n+".sum"] = float64(h.Sum())
+		s[n+".mean"] = h.Mean()
+	}
+	return s
+}
+
+// jsonHistogram is the exported form of one histogram.
+type jsonHistogram struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// WriteJSON dumps the registry as one JSON document with sorted keys:
+// {"counters":{...},"gauges":{...},"histograms":{...}}.  Histograms
+// include their non-empty power-of-two buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]uint64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make(map[string]jsonHistogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = jsonHistogram{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Mean:    h.Mean(),
+			Buckets: h.Buckets(),
+		}
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{counters, gauges, hists})
+}

@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterViewTracksSource(t *testing.T) {
+	r := NewRegistry()
+	var src uint64
+	r.CounterView("core3.lsq.nacks", &src)
+	if got := r.CounterValue("core3.lsq.nacks"); got != 0 {
+		t.Fatalf("fresh view = %d, want 0", got)
+	}
+	src = 41
+	src++
+	if got := r.CounterValue("core3.lsq.nacks"); got != 42 {
+		t.Fatalf("view = %d, want 42", got)
+	}
+	if got := r.Snapshot()["core3.lsq.nacks"]; got != 42 {
+		t.Fatalf("snapshot = %v, want 42", got)
+	}
+}
+
+func TestOwnedCounterAndNilSafety(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("owned counter = %d, want 5", c.Value())
+	}
+	if same := r.Counter("x"); same != c {
+		t.Fatal("re-registering an owned counter must return the same counter")
+	}
+	// Disabled-path contract: nil receivers are no-ops.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(7)
+	if nc.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var nh *Histogram
+	nh.Observe(9)
+	if nh.Count() != 0 || nh.Sum() != 0 || nh.Mean() != 0 || nh.Buckets() != nil {
+		t.Fatal("nil histogram must be inert")
+	}
+	var ns *Sampler
+	ns.Sample(10)
+	if ns.Len() != 0 || ns.Interval() != 0 || ns.Series() != nil {
+		t.Fatal("nil sampler must be inert")
+	}
+	var nt *Trace
+	nt.Span(0, 0, "a", "b", 0, 1, nil)
+	nt.Instant(0, 0, "a", "b", 0)
+	nt.NameProcess(0, "p")
+	nt.NameThread(0, 0, "t")
+	if nt.Len() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestGaugeAndSumHelpers(t *testing.T) {
+	r := NewRegistry()
+	occ := 3
+	r.Gauge("proc0.window.occupancy", func() float64 { return float64(occ) })
+	var a, b uint64 = 10, 32
+	r.CounterView("core0.l1d.accesses", &a)
+	r.CounterView("core1.l1d.accesses", &b)
+	r.CounterView("core1.l1d.misses", &b)
+	if got := r.SumCounters("", ".l1d.accesses"); got != 42 {
+		t.Fatalf("SumCounters = %d, want 42", got)
+	}
+	s := r.Snapshot()
+	if s.Get("proc0.window.occupancy") != 3 {
+		t.Fatalf("gauge snapshot = %v, want 3", s.Get("proc0.window.occupancy"))
+	}
+	if got := s.Sum("", ".l1d.accesses"); got != 42 {
+		t.Fatalf("Snapshot.Sum = %v, want 42", got)
+	}
+	occ = 7
+	if s.Get("proc0.window.occupancy") != 3 {
+		t.Fatal("snapshot must be a point-in-time copy")
+	}
+}
+
+// Satellite: histogram bucket boundaries.  Bucket 0 is exactly {0};
+// bucket i>=1 is [2^(i-1), 2^i-1].
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1<<20 - 1, 20}, {1 << 20, 21},
+		{1<<63 - 1, 63}, {1 << 63, 64}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		h := &Histogram{}
+		h.Observe(c.v)
+		bs := h.Buckets()
+		if len(bs) != 1 {
+			t.Fatalf("Observe(%d): %d buckets, want 1", c.v, len(bs))
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if bs[0].Lo != lo || bs[0].Hi != hi || bs[0].Count != 1 {
+			t.Fatalf("Observe(%d): bucket [%d,%d]x%d, want [%d,%d]x1",
+				c.v, bs[0].Lo, bs[0].Hi, bs[0].Count, lo, hi)
+		}
+		if c.v < lo || c.v > hi {
+			t.Fatalf("Observe(%d): landed outside its bucket [%d,%d]", c.v, lo, hi)
+		}
+	}
+	// Adjacent bucket edges must not overlap or leave gaps.
+	for i := 1; i < 64; i++ {
+		_, prevHi := BucketBounds(i - 1)
+		lo, _ := BucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d", i, lo, prevHi+1)
+		}
+	}
+	h := &Histogram{}
+	for v := uint64(0); v <= 16; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 17 || h.Sum() != 136 {
+		t.Fatalf("count/sum = %d/%d, want 17/136", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 8 {
+		t.Fatalf("mean = %v, want 8", got)
+	}
+}
+
+func TestRegistryWriteJSONDeterministicAndValid(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		var a uint64 = 7
+		r.CounterView("noc.opnd.hops", &a)
+		r.Counter("z.owned").Add(3)
+		r.Gauge("g", func() float64 { return 1.5 })
+		h := r.Histogram("proc0.fetch.latency")
+		h.Observe(3)
+		h.Observe(900)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("WriteJSON must be deterministic across identical registries")
+	}
+	var doc struct {
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   uint64   `json:"count"`
+			Sum     uint64   `json:"sum"`
+			Mean    float64  `json:"mean"`
+			Buckets []Bucket `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Counters["noc.opnd.hops"] != 7 || doc.Counters["z.owned"] != 3 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	fh := doc.Histograms["proc0.fetch.latency"]
+	if fh.Count != 2 || fh.Sum != 903 || len(fh.Buckets) != 2 {
+		t.Fatalf("histogram export = %+v", fh)
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	s := NewSampler(0) // clamps to 1
+	if s.Interval() != 1 {
+		t.Fatalf("interval = %d, want clamp to 1", s.Interval())
+	}
+	v := 0.0
+	s.Track("a", func() float64 { v++; return v })
+	s.Track("b", func() float64 { return -v })
+	s.Sample(10)
+	s.Sample(20)
+	ser := s.Series()
+	if len(ser) != 2 || s.Len() != 2 {
+		t.Fatalf("series = %d rows = %d", len(ser), s.Len())
+	}
+	if ser[0].Name != "a" || ser[0].Values[0] != 1 || ser[0].Values[1] != 2 {
+		t.Fatalf("series a = %+v", ser[0])
+	}
+	if ser[1].Cycles[1] != 20 || ser[1].Values[1] != -2 {
+		t.Fatalf("series b = %+v", ser[1])
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("sampler JSON invalid")
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	tr := &Trace{}
+	tr.NameProcess(1, "proc0")
+	tr.NameThread(1, 3, "core3")
+	tr.Span(1, 3, "blk", "fetch", 100, 140, map[string]any{"seq": 9})
+	tr.Span(1, 3, "bad", "x", 50, 40, nil) // end < start clamps
+	tr.Instant(1, 3, "flush", "flush", 200)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[2]
+	if span["ph"] != "X" || span["ts"] != 100.0 || span["dur"] != 40.0 ||
+		span["pid"] != 1.0 || span["tid"] != 3.0 {
+		t.Fatalf("span = %v", span)
+	}
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Fatalf("metadata = %v", meta)
+	}
+	// Empty traces still produce a loadable document.
+	var empty bytes.Buffer
+	if err := (&Trace{}).WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	var emptyDoc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(empty.Bytes(), &emptyDoc); err != nil || emptyDoc.TraceEvents == nil {
+		t.Fatalf("empty trace must still emit traceEvents: [] (err=%v)", err)
+	}
+}
+
+// Race gate: concurrent registration, snapshotting, owned-counter
+// increments and trace appends from many goroutines (run under -race by
+// ci.sh).  View sources are pre-filled and never written during the
+// test — mutating a view's field while another goroutine snapshots is
+// outside the library's single-writer contract for views.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := &Trace{}
+	fixed := [10]uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.CounterView(fmt.Sprintf("g%d.c%d", g, i%10), &fixed[i%10])
+				r.Counter("shared").Inc()
+				r.Gauge(fmt.Sprintf("g%d.gauge", g), func() float64 { return float64(g) })
+				r.Histogram("shared.hist")
+				_ = r.Snapshot()
+				_ = r.Names()
+				_ = r.SumCounters("g", "")
+				tr.Span(g, i, "job", "job", uint64(i), uint64(i+1), nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.CounterValue("shared"); got != 8*200 {
+		t.Fatalf("shared counter = %d, want 1600", got)
+	}
+	if tr.Len() != 8*200 {
+		t.Fatalf("trace events = %d, want 1600", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil || !json.Valid(buf.Bytes()) {
+		t.Fatalf("concurrent registry JSON invalid (err=%v)", err)
+	}
+}

@@ -1,0 +1,96 @@
+package tflex
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/runner"
+)
+
+// TestTelemetryUnderConcurrentJobs is the tier-1 race gate for the
+// telemetry layer: several runner workers execute fully instrumented
+// simulations — each chip driving its own cycle sampler — while all of
+// them append block spans to one shared Chrome trace and the engine
+// appends its own job spans to the same trace.  Run under -race (ci.sh
+// does), this exercises every concurrent surface the telemetry
+// subsystem has: the Trace mutex, per-chip registries built on worker
+// goroutines, and samplers advancing inside concurrent jobs.
+func TestTelemetryUnderConcurrentJobs(t *testing.T) {
+	shared := NewTrace()
+	type out struct {
+		metrics MetricsSnapshot
+		rows    int
+	}
+	results := make([]out, 8)
+
+	eng := &runner.Engine{Workers: 4, Trace: shared}
+	eng.Exec = func(sp runner.Spec) error {
+		res, err := RunKernel(sp.Kernel, 1, RunConfig{
+			Cores:          sp.Cores,
+			CollectMetrics: true,
+			ChromeTrace:    shared,
+			SampleEvery:    64,
+		})
+		if err != nil {
+			return err
+		}
+		results[sp.Scale] = out{res.Metrics, res.Samples.Len()}
+		return nil
+	}
+
+	// Eight distinct jobs (two kernels across the composition sizes);
+	// Scale is repurposed as the job's private results-slot index, so the
+	// workers never write the same element.
+	var specs []runner.Spec
+	for i, cores := range []int{4, 8, 16, 32} {
+		specs = append(specs,
+			runner.Spec{Kernel: "conv", Config: "telemetry", Cores: cores, Scale: i},
+			runner.Spec{Kernel: "autcor", Config: "telemetry", Cores: cores, Scale: i + 4})
+	}
+	if _, err := eng.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, r := range results {
+		if r.metrics == nil || r.metrics.Get("proc0.blocks.committed") == 0 {
+			t.Fatalf("job %d: empty metrics snapshot", i)
+		}
+		if r.rows == 0 {
+			t.Fatalf("job %d: sampler recorded no rows", i)
+		}
+	}
+
+	// The shared trace holds every job's block spans plus the runner's
+	// job spans, and still serializes to valid Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := shared.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("shared trace JSON invalid")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			cats[ev.Cat]++
+		}
+	}
+	if cats["job"] != len(specs) {
+		t.Errorf("runner job spans = %d, want %d", cats["job"], len(specs))
+	}
+	for _, cat := range []string{"fetch", "execute", "commit"} {
+		if cats[cat] == 0 {
+			t.Errorf("no %s block spans in shared trace (%v)", cat, cats)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/prog"
 	"github.com/clp-sim/tflex/internal/sim"
+	"github.com/clp-sim/tflex/internal/telemetry"
 	"github.com/clp-sim/tflex/internal/trips"
 )
 
@@ -72,7 +73,23 @@ type (
 	Machine = exec.Machine
 	// BlockEvent records one dynamic block's pipeline lifetime.
 	BlockEvent = sim.BlockEvent
+
+	// Metrics is the chip-wide telemetry registry: typed counters,
+	// gauges and latency histograms under hierarchical names such as
+	// "proc0.blocks.committed" or "noc.opnd.link.3.4.flits".
+	Metrics = telemetry.Registry
+	// MetricsSnapshot is a flat name→value capture of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// Trace collects Chrome trace-event spans (the JSON loaded by
+	// chrome://tracing and Perfetto).
+	Trace = telemetry.Trace
+	// Sampler records cycle-sampled time series of chip occupancies.
+	Sampler = telemetry.Sampler
 )
+
+// NewTrace returns an empty Chrome trace collector, ready for
+// RunConfig.ChromeTrace.
+func NewTrace() *Trace { return &telemetry.Trace{} }
 
 // Commonly used opcodes, re-exported for program construction.
 const (
@@ -163,6 +180,17 @@ type RunConfig struct {
 	Options *Options
 	// OnBlock, if set, observes every block retirement (commit or flush).
 	OnBlock func(BlockEvent)
+	// CollectMetrics arms the chip's telemetry registry before the run;
+	// Result.Telemetry and Result.Metrics report it.  Off by default —
+	// the simulation hot paths then pay only nil checks.
+	CollectMetrics bool
+	// ChromeTrace, if non-nil, collects fetch/execute/commit spans for
+	// every retired block, one track per physical core (one simulated
+	// cycle = 1µs of trace time).
+	ChromeTrace *Trace
+	// SampleEvery, if > 0, records window/LSQ occupancy and committed
+	// instructions every N cycles; Result.Samples reports the series.
+	SampleEvery uint64
 }
 
 // Result reports a completed run.
@@ -171,6 +199,10 @@ type Result struct {
 	Stats  Stats
 	Regs   [128]uint64
 	Mem    *Memory
+
+	Telemetry *Metrics        // live registry; nil unless CollectMetrics
+	Metrics   MetricsSnapshot // end-of-run capture; nil unless CollectMetrics
+	Samples   *Sampler        // nil unless SampleEvery > 0
 }
 
 // Run executes a program on a freshly composed processor and returns its
@@ -203,6 +235,17 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 		}
 	}
 	chip := sim.New(opts)
+	var reg *Metrics
+	if cfg.CollectMetrics {
+		reg = chip.Telemetry()
+	}
+	if cfg.ChromeTrace != nil {
+		chip.SetChromeTrace(cfg.ChromeTrace)
+	}
+	var samp *Sampler
+	if cfg.SampleEvery > 0 {
+		samp = chip.SampleEvery(cfg.SampleEvery)
+	}
 	proc, err := chip.AddProc(cores, p)
 	if err != nil {
 		return nil, err
@@ -216,12 +259,18 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 	if err := chip.Run(cfg.MaxCycles); err != nil {
 		return nil, fmt.Errorf("tflex: %w", err)
 	}
-	return &Result{
-		Cycles: proc.Stats.Cycles,
-		Stats:  proc.Stats,
-		Regs:   proc.Regs,
-		Mem:    proc.Mem,
-	}, nil
+	res := &Result{
+		Cycles:  proc.Stats.Cycles,
+		Stats:   proc.Stats,
+		Regs:    proc.Regs,
+		Mem:     proc.Mem,
+		Samples: samp,
+	}
+	if reg != nil {
+		res.Telemetry = reg
+		res.Metrics = reg.Snapshot()
+	}
+	return res, nil
 }
 
 // Verify runs the program architecturally (no timing) with the same
