@@ -8,20 +8,30 @@
 # the determinism regression in internal/experiments, and the
 # optimized-vs-reference engine differential), an explicit race gate on
 # the telemetry layer (shared Chrome trace + per-chip samplers inside
-# concurrent runner jobs), and a one-iteration smoke of every benchmark
-# so the bench harness cannot rot unnoticed.
+# concurrent runner jobs), an explicit race gate on the observability
+# server (HTTP scrapers hammering a sweep with live publishing), a live
+# smoke that curls /metrics and /critpath off a serving tflexexp, and a
+# one-iteration smoke of every benchmark so the bench harness cannot rot
+# unnoticed.
 #
 #   ./ci.sh bench
 #
 # runs the performance harness instead: cmd/tflexbench times the Figure 6
 # job grid on the optimized and reference engines and writes the numbers
-# to BENCH_sim.json.
+# to BENCH_sim.json, then asserts the critical-path attribution overhead
+# budget (critpath_overhead <= 1.10x).
 set -eu
 cd "$(dirname "$0")"
 
 if [ "${1:-}" = "bench" ]; then
     echo "== bench harness (cmd/tflexbench -> BENCH_sim.json) =="
     go run ./cmd/tflexbench -out BENCH_sim.json
+    echo "== critpath overhead budget (<= 1.10x) =="
+    awk '/"critpath_overhead"/ {
+        gsub(/[",]/, ""); ov = $2
+        printf "critpath_overhead = %s\n", ov
+        if (ov + 0 > 1.10) { print "FAIL: critpath attribution exceeds its 1.10x budget"; exit 1 }
+    }' BENCH_sim.json
     exit 0
 fi
 
@@ -45,6 +55,45 @@ go test -race ./...
 echo "== telemetry race gate (sampler vs. runner jobs) =="
 go test -race -count=1 -run 'TestTelemetryUnderConcurrentJobs|TestRegistryConcurrent|TestChipTelemetryEndToEnd' \
     . ./internal/telemetry ./internal/sim
+
+echo "== observability race gate (HTTP scrape vs. live sweep) =="
+go test -race -count=1 -run 'TestConcurrentPublishAndScrape|TestObserverDuringConcurrentSweep' \
+    ./internal/obs ./internal/experiments
+
+echo "== observability live smoke (tflexexp -serve) =="
+obsbin=$(mktemp -d)/tflexexp
+go build -o "$obsbin" ./cmd/tflexexp
+"$obsbin" -exp fig9x -scale 1 -serve 127.0.0.1:18573 >/dev/null 2>&1 &
+obspid=$!
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "http://127.0.0.1:18573$1"
+    else
+        wget -qO- "http://127.0.0.1:18573$1"
+    fi
+}
+ok=""
+for _ in $(seq 1 50); do
+    if metrics=$(fetch /metrics) && critjson=$(fetch /critpath); then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$ok" ]; then
+    echo "FAIL: observability server never answered /metrics + /critpath" >&2
+    kill "$obspid" 2>/dev/null || true
+    exit 1
+fi
+case "$critjson" in
+    *'"blocks"'*) ;;
+    *) echo "FAIL: /critpath response lacks a blocks field: $critjson" >&2
+       kill "$obspid" 2>/dev/null || true
+       exit 1 ;;
+esac
+echo "live /metrics (${#metrics} bytes) and /critpath OK"
+wait "$obspid" || true
+rm -rf "$(dirname "$obsbin")"
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./...

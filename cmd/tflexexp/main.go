@@ -6,8 +6,14 @@
 //	tflexexp -exp fig6 -scale 4 -jobs 8
 //	tflexexp -exp fig10 -workloads 20
 //
-// Experiments: table1, fig5, fig6, table2, fig7, fig8, fig9, handshake,
-// fig10, ablations, all.
+// Experiments: table1, fig5, fig6, table2, fig7, fig8, fig9, fig9x,
+// handshake, fig10, ablations, all.
+//
+// With -serve ADDR a live observability server runs for the duration of
+// the sweep: /metrics (latest telemetry snapshot), /critpath (rolling
+// critical-path attribution across all jobs), /events (SSE sampler
+// stream) and /debug/pprof.  Observation is passive — the tables on
+// stdout are unchanged.
 //
 // Each experiment enqueues its full simulation job set on the concurrent
 // runner (-jobs workers, default GOMAXPROCS) and renders its tables from
@@ -44,6 +50,7 @@ func expList(workloads int) []experiment {
 		{"fig7", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig7(); return out, err }},
 		{"fig8", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig8(); return out, err }},
 		{"fig9", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig9(); return out, err }},
+		{"fig9x", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig9x(); return out, err }},
 		{"handshake", func(s *experiments.Suite) (string, error) { _, out, err := s.Handshake(); return out, err }},
 		{"fig10", func(s *experiments.Suite) (string, error) { _, out, err := s.Fig10(workloads); return out, err }},
 		{"ablations", func(s *experiments.Suite) (string, error) { _, out, err := s.Ablations(8); return out, err }},
@@ -51,7 +58,7 @@ func expList(workloads int) []experiment {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig5, fig6, table2, fig7, fig8, fig9, handshake, fig10, ablations, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig5, fig6, table2, fig7, fig8, fig9, fig9x, handshake, fig10, ablations, all)")
 	scale := flag.Int("scale", 2, "kernel input scale")
 	workloads := flag.Int("workloads", 10, "multiprogrammed workloads per size (fig10)")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs (<=0: GOMAXPROCS)")
@@ -60,6 +67,7 @@ func main() {
 	chromeTrace := flag.String("chrome-trace", "", "write runner job lifecycles as a chrome://tracing event file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	serve := flag.String("serve", "", "serve live observability (/metrics, /critpath, /events, /debug/pprof) on this address while the sweep runs")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -78,6 +86,17 @@ func main() {
 	if *chromeTrace != "" {
 		trace = tflex.NewTrace()
 		s.SetTrace(trace)
+	}
+	if *serve != "" {
+		srv := tflex.NewObserver()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tflexexp: serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (endpoints: /metrics /critpath /events /debug/pprof)\n", addr)
+		s.SetObserver(srv)
+		defer srv.Close()
 	}
 
 	run := func(e experiment) {

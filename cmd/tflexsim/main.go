@@ -5,8 +5,15 @@
 //
 //	tflexsim -kernel conv -cores 8
 //	tflexsim -kernel mcf -trips
+//	tflexsim -kernel conv -cores 16 -critpath
 //	tflexsim -kernel conv -sweep -jobs 4
 //	tflexsim -list
+//
+// -critpath prints the cycle-exact critical-path attribution breakdown
+// after the run (every committed block's latency split across eight
+// categories that sum exactly to the block's lifetime).  -serve ADDR
+// additionally exposes /metrics, /critpath, /events and /debug/pprof
+// over HTTP while the simulation runs.
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	chromeTrace := flag.String("chrome-trace", "", "write block lifecycles as a chrome://tracing event file")
 	sample := flag.String("sample", "", "write cycle-sampled occupancy time series as JSON to this file")
 	sampleEvery := flag.Uint64("sample-every", 256, "sampling interval in cycles for -sample")
+	critPath := flag.Bool("critpath", false, "attribute every committed block's latency across the critical-path categories and print the breakdown")
+	serve := flag.String("serve", "", "serve live observability (/metrics, /critpath, /events, /debug/pprof) on this address during the run")
 	sweep := flag.Bool("sweep", false, "run the kernel on every composition size concurrently and print the speedup curve")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs for -sweep (<=0: GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -68,8 +77,20 @@ func main() {
 	}
 
 	runCfg := tflex.RunConfig{
-		Cores: *cores,
-		TRIPS: *useTRIPS,
+		Cores:    *cores,
+		TRIPS:    *useTRIPS,
+		CritPath: *critPath,
+	}
+	if *serve != "" {
+		srv := tflex.NewObserver()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim: serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (endpoints: /metrics /critpath /events /debug/pprof)\n", addr)
+		runCfg.Observe = srv
+		defer srv.Close()
 	}
 	var events []tflex.BlockEvent
 	if *timeline != "" {
@@ -118,13 +139,14 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
-			Kernel string
-			Config string
-			Scale  int
-			Cycles uint64
-			IPC    float64
-			Stats  tflex.Stats
-		}{*kernel, cfg, *scale, res.Cycles, st.IPC(), st}); err != nil {
+			Kernel   string
+			Config   string
+			Scale    int
+			Cycles   uint64
+			IPC      float64
+			Stats    tflex.Stats
+			CritPath *tflex.CritPathSummary `json:",omitempty"`
+		}{*kernel, cfg, *scale, res.Cycles, st.IPC(), st, res.CritPath}); err != nil {
 			fmt.Fprintln(os.Stderr, "tflexsim:", err)
 			os.Exit(1)
 		}
@@ -154,6 +176,9 @@ func main() {
 			fmt.Printf("%.2f", u)
 		}
 		fmt.Println(" issued insts/cycle")
+	}
+	if res.CritPath != nil {
+		fmt.Printf("  critical path     %s", res.CritPath.String())
 	}
 }
 

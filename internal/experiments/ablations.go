@@ -74,7 +74,7 @@ func (s *Suite) ablationRun(name, kernel string, cores int) (RunResult, error) {
 		opts := sim.DefaultOptions()
 		ab.mod(&opts)
 		chip := sim.New(opts)
-		r, err := runInstance(inst, chip, compose.MustRect(0, 0, cores), cores)
+		r, err := s.runInstance(inst, chip, compose.MustRect(0, 0, cores), cores)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("%s under %s: %w", kernel, name, err)
 		}

@@ -32,6 +32,7 @@ func TestExperimentsDeterministicAcrossWorkerCounts(t *testing.T) {
 		record("fig7", func() (string, error) { _, o, err := s.Fig7(); return o, err })
 		record("fig8", func() (string, error) { _, o, err := s.Fig8(); return o, err })
 		record("fig9", func() (string, error) { _, o, err := s.Fig9(); return o, err })
+		record("fig9x", func() (string, error) { _, o, err := s.Fig9x(); return o, err })
 		record("handshake", func() (string, error) { _, o, err := s.Handshake(); return o, err })
 		record("fig10", func() (string, error) { _, o, err := s.Fig10(4); return o, err })
 		record("ablations", func() (string, error) { _, o, err := s.Ablations(8); return o, err })

@@ -23,8 +23,10 @@ import (
 
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/conv"
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/kernels"
+	"github.com/clp-sim/tflex/internal/obs"
 	"github.com/clp-sim/tflex/internal/power"
 	"github.com/clp-sim/tflex/internal/runner"
 	"github.com/clp-sim/tflex/internal/sim"
@@ -41,6 +43,7 @@ const (
 	cfgTRIPS  = "trips"
 	cfgCore2  = "core2"
 	cfgZeroHS = "zero-handshake"
+	cfgCrit   = "critpath"
 	cfgAblate = "ablate:" // prefix; full config is "ablate:<name>"
 )
 
@@ -85,12 +88,21 @@ type Suite struct {
 	Sizes []int // TFlex composition sizes
 
 	engine *runner.Engine
+	obs    *obs.Server // nil unless SetObserver armed live observability
 
 	tflex  runner.Store[sizedKey, RunResult] // kernel × cores
 	tripsR runner.Store[string, RunResult]
 	core2  runner.Store[string, conv.Result]
-	zeroHS runner.Store[string, RunResult]   // 32-core zero-handshake runs
-	ablate runner.Store[sizedKey, RunResult] // ablation variants, key = {"<ablation>/<kernel>", cores}
+	zeroHS runner.Store[string, RunResult]    // 32-core zero-handshake runs
+	ablate runner.Store[sizedKey, RunResult]  // ablation variants, key = {"<ablation>/<kernel>", cores}
+	crit   runner.Store[sizedKey, CritResult] // attribution-enabled runs, kernel × cores
+}
+
+// CritResult is one attribution-enabled timing run: the ordinary run
+// result plus the chip's critical-path summary.
+type CritResult struct {
+	Run RunResult
+	Sum critpath.Summary
 }
 
 type sizedKey struct {
@@ -122,6 +134,14 @@ func (s *Suite) SetProgress(w io.Writer) { s.engine.Progress = w }
 // the runner's worker tracks (real time, 1µs units).
 func (s *Suite) SetTrace(t *telemetry.Trace) { s.engine.Trace = t }
 
+// SetObserver wires a live observability server into every subsequent
+// simulation: each run enables critical-path attribution feeding the
+// server's rolling /critpath aggregate, and publishes periodic registry
+// snapshots and sampler rows for /metrics and /events.  Call before the
+// first experiment; the tables on stdout are unaffected (recording is
+// passive), but -metrics exports gain critpath histogram entries.
+func (s *Suite) SetObserver(o *obs.Server) { s.obs = o }
+
 // MetricsByJob returns every completed timing run's registry snapshot,
 // keyed by the runner job key (the Core2 model runs on the functional
 // trace and carries no registry).
@@ -134,6 +154,7 @@ func (s *Suite) MetricsByJob() map[string]telemetry.Snapshot {
 		abl, kern, _ := strings.Cut(k.name, "/")
 		out[s.AblateSpec(abl, kern, k.cores).Key()] = r.Metrics
 	})
+	s.crit.Each(func(k sizedKey, r CritResult) { out[s.CritSpec(k.name, k.cores).Key()] = r.Run.Metrics })
 	return out
 }
 
@@ -160,6 +181,8 @@ func (s *Suite) exec(sp runner.Spec) error {
 		_, err = s.Core2Run(sp.Kernel)
 	case sp.Config == cfgZeroHS:
 		_, err = s.ZeroHandshakeRun(sp.Kernel)
+	case sp.Config == cfgCrit:
+		_, err = s.CritRun(sp.Kernel, sp.Cores)
 	case strings.HasPrefix(sp.Config, cfgAblate):
 		_, err = s.ablationRun(strings.TrimPrefix(sp.Config, cfgAblate), sp.Kernel, sp.Cores)
 	default:
@@ -196,6 +219,12 @@ func (s *Suite) Core2Spec(kernel string) runner.Spec {
 // ZeroHSSpec is the job spec for kernel's 32-core zero-handshake run.
 func (s *Suite) ZeroHSSpec(kernel string) runner.Spec {
 	return runner.Spec{Kernel: kernel, Config: cfgZeroHS, Cores: 32, Scale: s.Scale}
+}
+
+// CritSpec is the job spec for kernel's attribution-enabled run on an
+// n-core composition.
+func (s *Suite) CritSpec(kernel string, cores int) runner.Spec {
+	return runner.Spec{Kernel: kernel, Config: cfgCrit, Cores: cores, Scale: s.Scale}
 }
 
 // AblateSpec is the job spec for kernel under the named design ablation.
@@ -247,10 +276,13 @@ func (s *Suite) Summary() Summary {
 	addHits(h)
 	h, _ = s.ablate.Stats()
 	addHits(h)
+	h, _ = s.crit.Stats()
+	addHits(h)
 	s.tflex.Each(func(_ sizedKey, r RunResult) { sum.SimCycles += r.Cycles })
 	s.tripsR.Each(func(_ string, r RunResult) { sum.SimCycles += r.Cycles })
 	s.zeroHS.Each(func(_ string, r RunResult) { sum.SimCycles += r.Cycles })
 	s.ablate.Each(func(_ sizedKey, r RunResult) { sum.SimCycles += r.Cycles })
+	s.crit.Each(func(_ sizedKey, r CritResult) { sum.SimCycles += r.Run.Cycles })
 	s.core2.Each(func(_ string, r conv.Result) { sum.SimCycles += r.Cycles })
 	return sum
 }
@@ -288,9 +320,22 @@ func collect(chip *sim.Chip, proc *sim.Proc, cores, fpus int) RunResult {
 }
 
 // runInstance executes one kernel instance on a chip/processor pair and
-// validates the outputs against the reference.
-func runInstance(inst *kernels.Instance, chip *sim.Chip, procCores compose.Processor, fpus int) (RunResult, error) {
-	chip.Telemetry() // arm metrics pre-run so histograms observe the blocks
+// validates the outputs against the reference.  When an observer is set
+// (SetObserver), the run additionally enables critical-path attribution
+// into the server's rolling aggregate and publishes registry snapshots
+// mid-run; both are passive, so the architectural results are identical
+// with or without observation.
+func (s *Suite) runInstance(inst *kernels.Instance, chip *sim.Chip, procCores compose.Processor, fpus int) (RunResult, error) {
+	reg := chip.Telemetry() // arm metrics pre-run so histograms observe the blocks
+	if o := s.obs; o != nil {
+		chip.EnableCritPath()
+		chip.SetCritPathSink(o.Rolling())
+		samp := chip.SampleEvery(16384)
+		samp.SetNotify(func(cycle uint64, names []string, row []float64) {
+			o.PublishSample(cycle, names, row)
+			o.PublishMetrics(reg.Snapshot())
+		})
+	}
 	proc, err := chip.AddProc(procCores, inst.Prog)
 	if err != nil {
 		return RunResult{}, err
@@ -298,6 +343,9 @@ func runInstance(inst *kernels.Instance, chip *sim.Chip, procCores compose.Proce
 	inst.Init(&proc.Regs, proc.Mem)
 	if err := chip.Run(MaxCycles); err != nil {
 		return RunResult{}, err
+	}
+	if s.obs != nil {
+		s.obs.PublishMetrics(reg.Snapshot())
 	}
 	if err := inst.Check(&proc.Regs, proc.Mem); err != nil {
 		return RunResult{}, fmt.Errorf("output validation: %w", err)
@@ -317,7 +365,7 @@ func (s *Suite) TFlexRun(name string, n int) (RunResult, error) {
 			return RunResult{}, err
 		}
 		chip := sim.New(sim.DefaultOptions())
-		r, err := runInstance(inst, chip, compose.MustRect(0, 0, n), n)
+		r, err := s.runInstance(inst, chip, compose.MustRect(0, 0, n), n)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("%s on %d cores: %w", name, n, err)
 		}
@@ -337,7 +385,7 @@ func (s *Suite) TRIPSRun(name string) (RunResult, error) {
 			return RunResult{}, err
 		}
 		chip := trips.NewChip()
-		r, err := runInstance(inst, chip, trips.Processor(), trips.NumTiles)
+		r, err := s.runInstance(inst, chip, trips.Processor(), trips.NumTiles)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("%s on TRIPS: %w", name, err)
 		}
@@ -391,7 +439,32 @@ func (s *Suite) ZeroHandshakeRun(name string) (RunResult, error) {
 		opts := sim.DefaultOptions()
 		opts.ZeroHandshake = true
 		chip := sim.New(opts)
-		return runInstance(inst, chip, compose.MustRect(0, 0, 32), 32)
+		return s.runInstance(inst, chip, compose.MustRect(0, 0, 32), 32)
+	})
+}
+
+// CritRun returns (cached) the kernel's run on an n-core composition
+// with critical-path attribution enabled.  It simulates separately from
+// TFlexRun — same deterministic timing (recording is passive; the
+// differential test in the root package pins this), but the result
+// additionally carries the chip's attribution summary.
+func (s *Suite) CritRun(name string, n int) (CritResult, error) {
+	return s.crit.Get(sizedKey{name, n}, func() (CritResult, error) {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			return CritResult{}, fmt.Errorf("unknown kernel %q", name)
+		}
+		inst, err := k.Build(s.Scale)
+		if err != nil {
+			return CritResult{}, err
+		}
+		chip := sim.New(sim.DefaultOptions())
+		chip.EnableCritPath()
+		r, err := s.runInstance(inst, chip, compose.MustRect(0, 0, n), n)
+		if err != nil {
+			return CritResult{}, fmt.Errorf("%s on %d cores (critpath): %w", name, n, err)
+		}
+		return CritResult{Run: r, Sum: chip.CritPath()}, nil
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/clp-sim/tflex/internal/alloc"
 	"github.com/clp-sim/tflex/internal/area"
 	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/kernels"
 	"github.com/clp-sim/tflex/internal/runner"
 	"github.com/clp-sim/tflex/internal/stats"
@@ -446,6 +447,78 @@ func (s *Suite) Fig9() (Fig9Data, string, error) {
 	}
 	out := "Figure 9a: distributed fetch latency components (cycles/block)\n" + ft.String()
 	out += "\nFigure 9b: distributed commit latency components (cycles/block)\n" + ct.String()
+	return d, out, nil
+}
+
+// Fig9xData holds the critical-path attribution aggregate per
+// composition size: over every hand-optimized kernel, where each
+// committed block's latency is attributed cycle-exactly to the eight
+// categories (see internal/critpath).
+type Fig9xData struct {
+	Agg map[int]critpath.Summary // cores -> aggregate over all kernels
+}
+
+// Fig9x renders the critical-path attribution companion to Figure 9:
+// where the cycles of a committed block's lifetime actually go, per
+// composition size.  Unlike Figure 9's per-phase protocol averages,
+// these columns reconcile exactly — for every committed block the eight
+// categories sum to the block's full latency, so the table accounts for
+// 100% of block time with no "other" bucket.
+func (s *Suite) Fig9x() (Fig9xData, string, error) {
+	d := Fig9xData{Agg: map[int]critpath.Summary{}}
+	var specs []runner.Spec
+	for _, n := range s.Sizes {
+		for _, k := range kernels.HandOptimized() {
+			specs = append(specs, s.CritSpec(k.Name, n))
+		}
+	}
+	if err := s.Prefetch(specs); err != nil {
+		return d, "", err
+	}
+	cols := []string{"cores"}
+	for c := critpath.Category(0); c < critpath.NumCategories; c++ {
+		cols = append(cols, c.Short())
+	}
+	ct := stats.NewTable(append(append([]string{}, cols...), "cycles/block")...)
+	pt := stats.NewTable(append(append([]string{}, cols...), "total%")...)
+	for _, n := range s.Sizes {
+		var agg critpath.Summary
+		for _, k := range kernels.HandOptimized() {
+			r, err := s.CritRun(k.Name, n)
+			if err != nil {
+				return d, "", err
+			}
+			agg.Merge(r.Sum)
+		}
+		// The reconciliation invariant must survive aggregation: every
+		// block's categories sum to its latency, so the chip-wide sums
+		// must too.  A mismatch here means an attribution bug upstream.
+		if agg.Cats.Total() != agg.Cycles {
+			return d, "", fmt.Errorf("fig9x: %d-core attribution does not reconcile: categories sum %d, cycles %d",
+				n, agg.Cats.Total(), agg.Cycles)
+		}
+		d.Agg[n] = agg
+		crow := []any{n}
+		prow := []any{n}
+		var pctSum float64
+		for c := critpath.Category(0); c < critpath.NumCategories; c++ {
+			crow = append(crow, agg.PerBlock(c))
+			pct := 0.0
+			if agg.Cycles > 0 {
+				pct = 100 * float64(agg.Cats[c]) / float64(agg.Cycles)
+			}
+			pctSum += pct
+			prow = append(prow, pct)
+		}
+		perBlock := 0.0
+		if agg.Blocks > 0 {
+			perBlock = float64(agg.Cycles) / float64(agg.Blocks)
+		}
+		ct.Row(append(crow, perBlock)...)
+		pt.Row(append(prow, pctSum)...)
+	}
+	out := "Figure 9x: critical-path attribution (cycles/block, avg over committed blocks)\n" + ct.String()
+	out += "\nFigure 9x: share of block latency (%)\n" + pt.String()
 	return d, out, nil
 }
 

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/clp-sim/tflex/internal/obs"
+)
+
+// TestObserverDuringConcurrentSweep is the integration race gate for
+// live observability: a sweep runs on multiple workers with an observer
+// attached while HTTP scrapers hammer /metrics and /critpath the whole
+// time.  Run under -race (ci.sh does) this catches any path where a
+// handler reads simulator-owned state instead of a published copy.
+func TestObserverDuringConcurrentSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-kernel sweep")
+	}
+	o := obs.New()
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+
+	s := NewSuite(1)
+	s.SetJobs(4)
+	s.SetObserver(o)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/critpath"} {
+					res, err := http.Get(ts.URL + path)
+					if err != nil {
+						return
+					}
+					io.Copy(io.Discard, res.Body) //nolint:errcheck
+					res.Body.Close()
+				}
+			}
+		}()
+	}
+
+	if _, _, err := s.Fig9x(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every observed run feeds the rolling aggregate; after a full
+	// Fig9x sweep it must have accumulated blocks and reconcile.
+	snap := o.Rolling().Snapshot()
+	if snap.Blocks == 0 {
+		t.Fatal("observer rolling aggregate saw no blocks")
+	}
+	if snap.Cats.Total() != snap.Cycles {
+		t.Fatalf("rolling aggregate does not reconcile: categories %d, cycles %d",
+			snap.Cats.Total(), snap.Cycles)
+	}
+
+	// The final publish must have landed a non-empty snapshot.
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if len(body) < 10 {
+		t.Fatalf("final /metrics snapshot looks empty: %q", body)
+	}
+}

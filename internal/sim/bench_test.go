@@ -52,7 +52,7 @@ func BenchmarkEventQueueReference(b *testing.B) {
 // fetch, dispatch, operand delivery, issue, branch resolution and the
 // distributed commit protocol.  blocks/op makes allocs-per-block a direct
 // read-off against the reported allocs/op.
-func benchBlockPipeline(b *testing.B, reference bool) {
+func benchBlockPipeline(b *testing.B, reference, critpath bool) {
 	p := sumProgram(b)
 	opts := DefaultOptions()
 	opts.Reference = reference
@@ -61,6 +61,9 @@ func benchBlockPipeline(b *testing.B, reference bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		chip := New(opts)
+		if critpath {
+			chip.EnableCritPath()
+		}
 		proc, err := chip.AddProc(compose.MustRect(0, 0, 4), p)
 		if err != nil {
 			b.Fatal(err)
@@ -74,5 +77,10 @@ func benchBlockPipeline(b *testing.B, reference bool) {
 	b.ReportMetric(float64(blocks)/float64(b.N), "blocks/op")
 }
 
-func BenchmarkBlockPipeline(b *testing.B)          { benchBlockPipeline(b, false) }
-func BenchmarkBlockPipelineReference(b *testing.B) { benchBlockPipeline(b, true) }
+func BenchmarkBlockPipeline(b *testing.B)          { benchBlockPipeline(b, false, false) }
+func BenchmarkBlockPipelineReference(b *testing.B) { benchBlockPipeline(b, true, false) }
+
+// BenchmarkBlockPipelineCritPath prices per-block critical-path
+// attribution against BenchmarkBlockPipeline: the delta is the full
+// recording + walk cost, which ci.sh budgets at 1.10x end to end.
+func BenchmarkBlockPipelineCritPath(b *testing.B) { benchBlockPipeline(b, false, true) }

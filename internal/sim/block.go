@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
@@ -118,6 +119,13 @@ type IFB struct {
 	// commitStart is the cycle the four-phase commit protocol launched
 	// (Figure 9b), recorded for BlockEvent/commit-latency telemetry.
 	commitStart uint64
+
+	// cp is the critical-path attribution record, pooled with the IFB.
+	// nil unless Chip.EnableCritPath was called — every stamp below is
+	// gated on a nil check, mirroring the telemetry disabled-cost
+	// contract.  Recording is passive: it never feeds back into
+	// scheduling, so architectural results are identical either way.
+	cp *critpath.Block
 }
 
 // writeSlotOf returns the write-slot index for reg, if the block writes it.
@@ -193,7 +201,13 @@ func (p *Proc) deliverWrite(b *IFB, wi int, val uint64, dead bool, fromIdx int, 
 		w.resolved = true
 		p.serveWriteWaiters(b, wi, w.bankAt)
 		arr := p.ctlSend(bank, b.owner, w.bankAt)
-		p.outputDone(b, arr)
+		if b.cp != nil {
+			cw := b.cp.WriteAt(wi)
+			cw.SendAt = t
+			cw.BankAt = w.bankAt
+			cw.BankIdeal = p.opnIdeal(fromIdx, bank)
+		}
+		p.outputDone(b, arr, critpath.OutWrite, int32(wi))
 		return
 	}
 	if w.rem == 0 && !w.has && !w.resolved {
@@ -203,7 +217,12 @@ func (p *Proc) deliverWrite(b *IFB, wi int, val uint64, dead bool, fromIdx int, 
 		p.serveWriteWaiters(b, wi, t)
 		bank := p.regBankIdx(reg)
 		arr := p.ctlSend(bank, b.owner, t)
-		p.outputDone(b, arr)
+		if b.cp != nil {
+			cw := b.cp.WriteAt(wi)
+			cw.Null = true
+			cw.SendAt = t
+		}
+		p.outputDone(b, arr, critpath.OutWrite, int32(wi))
 	}
 }
 
@@ -261,7 +280,15 @@ func (p *Proc) resolveStoreSlot(b *IFB, lsid int8, t uint64, deadArm bool) {
 	}
 	b.storeDone[lsid] = true
 	arr := p.ctlSend(int(b.meta.lsidCore[lsid]), b.owner, t)
-	p.outputDone(b, arr)
+	if b.cp != nil {
+		s := &b.cp.Slots[lsid]
+		s.ResolvedAt = t
+		s.Valid = true
+		if deadArm {
+			s.Kind, s.Src = critpath.SrcNone, 0
+		}
+	}
+	p.outputDone(b, arr, critpath.OutStore, int32(lsid))
 	p.retryDeferredLoads()
 }
 
@@ -294,6 +321,10 @@ func (p *Proc) maybeIssue(b *IFB, idx int) {
 	st.status = stIssued
 	coreIdx := b.instCoreIdx(idx)
 	issueAt := p.chip.issueAt(p.phys(coreIdx)).reserve(readyAt, in.Op.IsFP())
+	if b.cp != nil {
+		ci := b.cp.InstAt(idx)
+		ci.AvailAt, ci.ReadyAt, ci.IssueAt, ci.Issued = st.availAt, readyAt, issueAt, true
+	}
 	p.executeInst(b, idx, issueAt)
 }
 
@@ -322,6 +353,13 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 		agenDone := issueAt + 1
 		bank := p.dataBankIdx(addr)
 		arr := p.opnSend(coreIdx, bank, agenDone)
+		if b.cp != nil {
+			ci := b.cp.InstAt(idx)
+			ci.IsMem = true
+			ci.AgenDone = agenDone
+			ci.BankIdeal = p.opnIdeal(coreIdx, bank)
+			ci.BankArrive = arr
+		}
 		p.chip.scheduleEv(arr, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
 
 	case in.Op == isa.OpStore:
@@ -336,11 +374,26 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 		agenDone := issueAt + 1
 		bank := p.dataBankIdx(addr)
 		arr := p.opnSend(coreIdx, bank, agenDone)
+		if b.cp != nil {
+			ci := b.cp.InstAt(idx)
+			ci.IsMem = true
+			ci.AgenDone = agenDone
+			ci.BankIdeal = p.opnIdeal(coreIdx, bank)
+			ci.BankArrive = arr
+		}
 		p.chip.scheduleEv(arr, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
 
 	case in.Op == isa.OpNull:
 		done := issueAt + 1
 		if in.NullLSID >= 0 {
+			// Pre-record the slot's producer: the evNullSlot event only
+			// carries the LSID.  First recorder wins (a firing store's
+			// unconditional record in storeAtBank takes precedence).
+			if b.cp != nil {
+				if s := &b.cp.Slots[in.NullLSID]; s.Kind == critpath.SrcNone {
+					s.Kind, s.Src = critpath.SrcInst, int32(idx)
+				}
+			}
 			p.chip.scheduleEv(done, event{kind: evNullSlot, b: b, gen: b.gen, idx: int32(in.NullLSID)})
 		}
 		for _, tg := range in.Targets {
@@ -363,6 +416,11 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 			target = st.left.val
 		}
 		arr := p.ctlSend(coreIdx, b.owner, done)
+		if b.cp != nil && !b.cp.Branch.Valid {
+			// First executed branch wins: branchResolved also takes the
+			// first arrival and ignores a later predicated twin.
+			b.cp.Branch = critpath.SlotOut{Kind: critpath.SrcInst, Src: int32(idx), ResolvedAt: done, Valid: true}
+		}
 		p.chip.scheduleEv(arr, event{kind: evBranch, b: b, gen: b.gen, idx: int32(in.Op), from: in.Exit, val: target})
 
 	default:
@@ -375,12 +433,17 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 			b.useful++
 		}
 		for _, tg := range in.Targets {
-			p.scheduleDelivery(b, tg, val, coreIdx, done)
+			p.scheduleDelivery(b, tg, val, coreIdx, done, critpath.SrcInst, int32(idx))
 		}
 	}
 }
 
-func (p *Proc) scheduleDelivery(b *IFB, tg isa.Target, val uint64, fromIdx int, t uint64) {
+// scheduleDelivery routes one produced value to its target and, with
+// attribution on, records the delivery edge: who sent it, when, the
+// unloaded hop latency and the actual arrival.  Each operand/write slot
+// receives exactly one value (two is a simulator failure), so the edge
+// is recorded without overwrite hazards.
+func (p *Proc) scheduleDelivery(b *IFB, tg isa.Target, val uint64, fromIdx int, t uint64, srcKind critpath.SrcKind, srcIdx int32) {
 	toIdx := fromIdx
 	if tg.Kind != isa.TargetWrite {
 		toIdx = b.instCoreIdx(int(tg.Index))
@@ -388,6 +451,22 @@ func (p *Proc) scheduleDelivery(b *IFB, tg isa.Target, val uint64, fromIdx int, 
 	arr := t
 	if toIdx != fromIdx {
 		arr = p.opnSend(fromIdx, toIdx, t)
+	}
+	if b.cp != nil {
+		e := critpath.Edge{
+			Kind: srcKind, Valid: true, Src: srcIdx,
+			SendAt: t, HopIdeal: p.opnIdeal(fromIdx, toIdx), ArriveAt: arr,
+		}
+		switch tg.Kind {
+		case isa.TargetWrite:
+			b.cp.WriteAt(int(tg.Index)).Edge = e
+		case isa.TargetLeft:
+			b.cp.InstAt(int(tg.Index)).Left = e
+		case isa.TargetRight:
+			b.cp.InstAt(int(tg.Index)).Right = e
+		case isa.TargetPred:
+			b.cp.InstAt(int(tg.Index)).Pred = e
+		}
 	}
 	p.chip.scheduleEv(arr, event{kind: evDeliver, b: b, gen: b.gen, tgt: tg, val: val, from: uint8(fromIdx)})
 }
@@ -403,6 +482,12 @@ func (p *Proc) scheduleDeadToken(b *IFB, tg isa.Target, fromIdx int, t uint64) {
 func (p *Proc) resolveRead(b *IFB, ri int, t uint64) {
 	if b.dead {
 		return
+	}
+	if b.cp != nil && b.cp.Reads[ri].DispatchAt == 0 {
+		// First resolution attempt: the read request reached its bank.
+		// Forwarding waits re-resolve later; the walker charges
+		// [DispatchAt, value departure] to the register-read category.
+		b.cp.Reads[ri].DispatchAt = t
 	}
 	reg := b.blk.Reads[ri].Reg
 	pos := p.indexOf(b)
@@ -435,6 +520,6 @@ func (p *Proc) deliverRead(b *IFB, ri int, val uint64, t uint64) {
 	bank := p.regBankIdx(rd.Reg)
 	p.Stats.RegReads++
 	for _, tg := range rd.Targets {
-		p.scheduleDelivery(b, tg, val, bank, t)
+		p.scheduleDelivery(b, tg, val, bank, t, critpath.SrcRegRead, int32(ri))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
@@ -48,6 +49,13 @@ type Chip struct {
 	trace    *telemetry.Trace
 	sampler  *telemetry.Sampler
 	sampleAt uint64
+
+	// Critical-path attribution (see critpath.go): off by default.
+	// critEnabled arms per-block recording (IFBs get a pooled record on
+	// reset); critSink optionally mirrors each committed breakdown into
+	// a concurrency-safe rolling aggregate for live observability.
+	critEnabled bool
+	critSink    *critpath.Rolling
 }
 
 // OnProcHalt installs a hook invoked (inside the event loop) whenever a
@@ -238,6 +246,9 @@ func (c *Chip) Run(maxCycles uint64) error {
 		if !p.halted {
 			return fmt.Errorf("sim: deadlock: processor %d stalled at cycle %d (%s)", p.id, c.now, p.describeStall())
 		}
+	}
+	if c.critEnabled {
+		c.releaseCritRecords()
 	}
 	return nil
 }

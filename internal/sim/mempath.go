@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
 )
@@ -90,25 +91,38 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 	physCore := p.phys(bankIdx)
 	svc := p.chip.l1dPort[physCore].reserve(t, 1)
 
-	var dataAt uint64
+	// accessDone is when the L1 access pipeline (or LSQ forward) itself
+	// finished; dataAt additionally waits for any in-flight miss fill.
+	// The attribution walker charges [SvcAt, AccessDone] to the cache
+	// category's pipeline portion and [AccessDone, DataAt] to miss fill.
+	var dataAt, accessDone uint64
 	if bank.ForwardFrom(key, addr, in.MemSize) {
 		dataAt = svc + 1 // store-to-load forwarding out of the LSQ
+		accessDone = dataAt
 	} else {
 		pa := p.physAddr(addr)
 		cache := p.chip.l1dAt(physCore)
 		if line, hit := cache.Access(pa, svc); hit {
 			dataAt = svc + uint64(p.chip.Opts.Params.L1DHitCycles)
+			accessDone = dataAt
 			if line.FillAt > dataAt {
 				dataAt = line.FillAt
 			}
 		} else {
-			fill := p.chip.L2.Read(physCore, pa, svc+uint64(p.chip.Opts.Params.L1DHitCycles))
+			accessDone = svc + uint64(p.chip.Opts.Params.L1DHitCycles)
+			fill := p.chip.L2.Read(physCore, pa, accessDone)
 			victim, evicted := cache.Fill(pa, fill)
 			if evicted {
 				p.writeBackVictim(physCore, victim)
 			}
 			dataAt = fill
 		}
+	}
+	if b.cp != nil {
+		ci := b.cp.InstAt(idx)
+		ci.SvcAt = svc
+		ci.AccessDone = accessDone
+		ci.DataAt = dataAt
 	}
 
 	// The architectural value: committed memory overlaid with all older
@@ -117,7 +131,7 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 	val := p.loadValue(b, key, addr, int(in.MemSize), in.MemSigned)
 	b.loads++
 	for _, tg := range in.Targets {
-		p.scheduleDelivery(b, tg, val, bankIdx, dataAt)
+		p.scheduleDelivery(b, tg, val, bankIdx, dataAt, critpath.SrcInst, int32(idx))
 	}
 }
 
@@ -177,6 +191,13 @@ func (p *Proc) storeAtBank(b *IFB, idx int, addr uint64, val uint64, t uint64) {
 	svc := p.chip.l1dPort[physCore].reserve(t, 1)
 
 	b.stores = append(b.stores, firedStore{key: key, addr: addr, size: in.MemSize, val: val})
+	if b.cp != nil {
+		// The firing store is the slot's producer, overriding any null
+		// twin's pre-record.
+		s := &b.cp.Slots[in.LSID]
+		s.Kind, s.Src = critpath.SrcInst, int32(idx)
+		b.cp.InstAt(idx).SvcAt = svc
+	}
 	p.resolveStoreSlot(b, in.LSID, svc+1, false)
 	p.retryDeferredLoads()
 }

@@ -217,4 +217,10 @@ func resetIFB(b *IFB, p *Proc, m *blockMeta, seq uint64, hist predictor.History)
 	b.dispatchLat = 0
 	b.icacheStall = 0
 	b.commitStart = 0
+
+	if p.chip.critEnabled {
+		p.resetCP(b, m)
+	} else {
+		b.cp = nil
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
@@ -79,6 +80,11 @@ type Proc struct {
 	// check per committed block.
 	hFetchLat  *telemetry.Histogram
 	hCommitLat *telemetry.Histogram
+
+	// Critical-path attribution aggregate and per-category histograms
+	// (nil histograms unless both attribution and telemetry are armed).
+	crit  critpath.Summary
+	hCrit [critpath.NumCategories]*telemetry.Histogram
 
 	Stats Stats
 }
@@ -437,17 +443,23 @@ func (p *Proc) branchResolved(b *IFB, out exec.BranchOut, t uint64) {
 			p.maybeFetch()
 		}
 	}
-	p.outputDone(b, t)
+	p.outputDone(b, t, critpath.OutBranch, 0)
 }
 
 // outputDone records one block output (register write, store slot, or
-// branch) arriving at the owner at cycle t.
-func (p *Proc) outputDone(b *IFB, t uint64) {
+// branch) arriving at the owner at cycle t.  kind/idx identify the
+// output for attribution: whichever output completes last becomes the
+// root of the critical-path walk (ties go to the latest arrival in
+// event order, matching the completion the block actually waited on).
+func (p *Proc) outputDone(b *IFB, t uint64, kind critpath.OutKind, idx int32) {
 	if b.dead {
 		return
 	}
 	if t > b.completeAt {
 		b.completeAt = t
+	}
+	if b.cp != nil && t == b.completeAt {
+		b.cp.LastOut, b.cp.LastIdx = kind, idx
 	}
 	b.outputsPending--
 	if b.outputsPending < 0 {
@@ -647,6 +659,9 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 	}
 	p.Stats.BlocksCommitted++
 	p.Stats.InstsCommitted += uint64(b.useful)
+	if b.cp != nil {
+		p.finalizeCritPath(b, t)
+	}
 	p.emitBlockEvent(b, t, false)
 	p.Stats.Loads += uint64(b.loads)
 	p.Stats.Stores += uint64(len(b.stores))

@@ -133,6 +133,9 @@ func (p *Proc) register(r *telemetry.Registry) {
 	r.Gauge(prefix+".window.occupancy", func() float64 { return float64(len(p.window)) })
 	p.hFetchLat = r.Histogram(prefix + ".fetch.latency")
 	p.hCommitLat = r.Histogram(prefix + ".commit.latency")
+	if p.chip.critEnabled {
+		p.registerCritHists(r)
+	}
 }
 
 // register exposes every Stats counter under prefix — the registry view

@@ -1,6 +1,9 @@
 package sim
 
-import "github.com/clp-sim/tflex/internal/telemetry"
+import (
+	"github.com/clp-sim/tflex/internal/critpath"
+	"github.com/clp-sim/tflex/internal/telemetry"
+)
 
 // Block-lifecycle tracing: an optional per-processor hook that observes
 // every block's journey through the distributed pipeline — the tool used
@@ -36,6 +39,11 @@ type BlockEvent struct {
 	Flushed   bool
 	// Useful counts committed useful instructions (0 for flushed blocks).
 	Useful int
+	// CritPath is the block's critical-path attribution breakdown — nil
+	// unless Chip.EnableCritPath was armed and the block committed.  By
+	// the reconciliation invariant its categories sum to exactly
+	// RetiredAt-FetchStart.
+	CritPath *critpath.Breakdown
 }
 
 // TraceBlocks installs a block-retirement observer.  The hook runs inside
@@ -63,6 +71,10 @@ func (p *Proc) emitBlockEvent(b *IFB, retiredAt uint64, flushed bool) {
 	}
 	if !flushed {
 		ev.Useful = b.useful
+		if b.cp != nil {
+			bd := b.cp.Result // copy: the pooled record outlives the event
+			ev.CritPath = &bd
+		}
 	}
 	if p.blockTrace != nil {
 		p.blockTrace(ev)

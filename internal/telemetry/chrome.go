@@ -33,13 +33,16 @@ type chromeEvent struct {
 }
 
 // Span records a complete ("ph":"X") event covering [start, end] ticks
-// on the (pid, tid) track.  Spans with end < start are clamped to zero
-// duration.  Safe on nil.
+// on the (pid, tid) track.  Spans with end <= start are clamped to a
+// one-tick minimum: trace viewers drop or render zero-duration complete
+// events invisibly, and legitimate same-cycle phases (a block whose
+// FetchStart equals its CommitStart after a flush) would silently
+// vanish from the timeline.  Safe on nil.
 func (t *Trace) Span(pid, tid int, name, cat string, start, end uint64, args map[string]any) {
 	if t == nil {
 		return
 	}
-	dur := uint64(0)
+	dur := uint64(1)
 	if end > start {
 		dur = end - start
 	}

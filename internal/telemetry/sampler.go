@@ -19,6 +19,7 @@ type Sampler struct {
 	sources  []func() float64
 	cycles   []uint64
 	rows     [][]float64
+	notify   func(cycle uint64, names []string, row []float64)
 }
 
 // NewSampler returns a sampler that wants one row every interval cycles
@@ -45,6 +46,18 @@ func (s *Sampler) Track(name string, fn func() float64) {
 	s.sources = append(s.sources, fn)
 }
 
+// SetNotify installs a hook invoked synchronously after every recorded
+// row, on the sampling (chip event loop) goroutine.  The observability
+// server uses it to publish live snapshots from the goroutine that owns
+// the counters, keeping scrapes off the simulator's sharing model.  The
+// receiver must copy names/row if it retains them past the call.
+func (s *Sampler) SetNotify(fn func(cycle uint64, names []string, row []float64)) {
+	if s == nil {
+		return
+	}
+	s.notify = fn
+}
+
 // Sample appends one row for the given cycle.  Safe on nil.
 func (s *Sampler) Sample(cycle uint64) {
 	if s == nil {
@@ -56,6 +69,9 @@ func (s *Sampler) Sample(cycle uint64) {
 	}
 	s.cycles = append(s.cycles, cycle)
 	s.rows = append(s.rows, row)
+	if s.notify != nil {
+		s.notify(cycle, s.names, row)
+	}
 }
 
 // Len returns the number of rows recorded.

@@ -32,8 +32,10 @@ import (
 	"fmt"
 
 	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
 	"github.com/clp-sim/tflex/internal/isa"
+	"github.com/clp-sim/tflex/internal/obs"
 	"github.com/clp-sim/tflex/internal/prog"
 	"github.com/clp-sim/tflex/internal/sim"
 	"github.com/clp-sim/tflex/internal/telemetry"
@@ -85,7 +87,26 @@ type (
 	Trace = telemetry.Trace
 	// Sampler records cycle-sampled time series of chip occupancies.
 	Sampler = telemetry.Sampler
+
+	// CritPathSummary aggregates critical-path attribution over
+	// committed blocks: total attributed cycles by category, with the
+	// invariant that each block's categories sum to its latency exactly.
+	CritPathSummary = critpath.Summary
+	// CritPathBreakdown is one block's attributed cycles by category.
+	CritPathBreakdown = critpath.Breakdown
+	// CritPathCategory names one attribution category.
+	CritPathCategory = critpath.Category
+	// Observer is the live observability server: /metrics, /critpath,
+	// /events (SSE) and /debug/pprof over plain net/http.
+	Observer = obs.Server
 )
+
+// NumCritPathCategories is the number of attribution categories.
+const NumCritPathCategories = critpath.NumCategories
+
+// NewObserver returns an idle observability server; call Start(addr)
+// and pass it as RunConfig.Observe.
+func NewObserver() *Observer { return obs.New() }
 
 // NewTrace returns an empty Chrome trace collector, ready for
 // RunConfig.ChromeTrace.
@@ -191,6 +212,18 @@ type RunConfig struct {
 	// SampleEvery, if > 0, records window/LSQ occupancy and committed
 	// instructions every N cycles; Result.Samples reports the series.
 	SampleEvery uint64
+	// CritPath arms critical-path attribution: every committed block's
+	// latency is attributed across eight categories (fetch/dispatch,
+	// NoC hop, NoC contention, ALU, LSQ, cache miss, register R/W,
+	// commit), reconciling exactly with block latency.  Result.CritPath
+	// reports the aggregate; architectural results are unchanged.
+	CritPath bool
+	// Observe, if non-nil, publishes live state into the given
+	// observability server while the run executes: rolling critical-path
+	// aggregates (implies CritPath), metrics snapshots and sampler rows
+	// at every sample point (SampleEvery, defaulting to 4096 cycles when
+	// unset).  Start/Close the server yourself.
+	Observe *Observer
 }
 
 // Result reports a completed run.
@@ -203,6 +236,10 @@ type Result struct {
 	Telemetry *Metrics        // live registry; nil unless CollectMetrics
 	Metrics   MetricsSnapshot // end-of-run capture; nil unless CollectMetrics
 	Samples   *Sampler        // nil unless SampleEvery > 0
+
+	// CritPath is the chip-wide attribution aggregate; nil unless
+	// RunConfig.CritPath (or Observe) was set.
+	CritPath *CritPathSummary
 }
 
 // Run executes a program on a freshly composed processor and returns its
@@ -246,6 +283,23 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 	if cfg.SampleEvery > 0 {
 		samp = chip.SampleEvery(cfg.SampleEvery)
 	}
+	if cfg.CritPath || cfg.Observe != nil {
+		chip.EnableCritPath()
+	}
+	if srv := cfg.Observe; srv != nil {
+		chip.SetCritPathSink(srv.Rolling())
+		// Publishing happens on the chip's event-loop goroutine via the
+		// sampler notify hook, so handlers never read live counters.
+		obsReg := chip.Telemetry()
+		pubSamp := samp
+		if pubSamp == nil {
+			pubSamp = chip.SampleEvery(4096)
+		}
+		pubSamp.SetNotify(func(cycle uint64, names []string, row []float64) {
+			srv.PublishSample(cycle, names, row)
+			srv.PublishMetrics(obsReg.Snapshot())
+		})
+	}
 	proc, err := chip.AddProc(cores, p)
 	if err != nil {
 		return nil, err
@@ -269,6 +323,13 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 	if reg != nil {
 		res.Telemetry = reg
 		res.Metrics = reg.Snapshot()
+	}
+	if cfg.CritPath || cfg.Observe != nil {
+		cp := chip.CritPath()
+		res.CritPath = &cp
+	}
+	if cfg.Observe != nil {
+		cfg.Observe.PublishMetrics(chip.Telemetry().Snapshot())
 	}
 	return res, nil
 }
