@@ -3,7 +3,9 @@
 #
 #   ./ci.sh
 #
-# Checks, in order: formatting, vet, build, the full test suite under the
+# Checks, in order: formatting, vet, build, the tflexlint static-analysis
+# suite (determinism, poolguard, telemetry-cost and event-discipline
+# invariants), the full test suite under the
 # race detector (which also exercises the concurrent experiment runner,
 # the determinism regression in internal/experiments, and the
 # optimized-vs-reference engine differential), an explicit race gate on
@@ -20,8 +22,20 @@
 # job grid on the optimized and reference engines and writes the numbers
 # to BENCH_sim.json, then asserts the critical-path attribution overhead
 # budget (critpath_overhead <= 1.10x).
+#
+#   ./ci.sh lint
+#
+# runs only the static-analysis stage (a few hundred milliseconds): all
+# four tflexlint analyzers over the whole module.
 set -eu
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "lint" ]; then
+    echo "== tflexlint =="
+    go run ./cmd/tflexlint ./...
+    echo "lint: clean"
+    exit 0
+fi
 
 if [ "${1:-}" = "bench" ]; then
     echo "== bench harness (cmd/tflexbench -> BENCH_sim.json) =="
@@ -48,6 +62,9 @@ go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== tflexlint =="
+go run ./cmd/tflexlint ./...
 
 echo "== go test -race =="
 go test -race ./...

@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/clp-sim/tflex"
@@ -219,6 +220,32 @@ func measure(jobs []job, scale int, reference, telemetry, critpath bool) (engine
 	return r, nil
 }
 
+// passNames are the -only values, in report order.
+var passNames = []string{"reference", "optimized", "telemetry", "critpath"}
+
+// validateFlags rejects flag values that would otherwise produce a
+// silent zero-value run: -reps 0 measures nothing and reports all-zero
+// numbers, -scale 0 simulates empty kernels, and a mistyped -only would
+// previously burn a full default-flag benchmark before erroring.
+func validateFlags(scale, reps int, only string) error {
+	if scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", scale)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be >= 1, got %d", reps)
+	}
+	if only != "" {
+		known := false
+		for _, n := range passNames {
+			known = known || only == n
+		}
+		if !known {
+			return fmt.Errorf("-only must be one of %s; got %q", strings.Join(passNames, ", "), only)
+		}
+	}
+	return nil
+}
+
 func main() {
 	scale := flag.Int("scale", 1, "kernel input scale")
 	out := flag.String("out", "BENCH_sim.json", "output file")
@@ -227,6 +254,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if err := validateFlags(*scale, *reps, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

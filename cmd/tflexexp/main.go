@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 
@@ -57,6 +58,35 @@ func expList(workloads int) []experiment {
 	}
 }
 
+// validateFlags rejects flag values that would otherwise degrade the
+// run silently or fail late: non-positive -scale/-workloads render
+// empty or degenerate sweeps, an unparseable -serve address would only
+// surface once the server starts, and an unknown -exp used to be
+// diagnosed after flag handling rather than with the usage text.
+func validateFlags(exp string, scale, workloads int, serve string, names []string) error {
+	if scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", scale)
+	}
+	if workloads < 1 {
+		return fmt.Errorf("-workloads must be >= 1, got %d", workloads)
+	}
+	if serve != "" {
+		if _, _, err := net.SplitHostPort(serve); err != nil {
+			return fmt.Errorf("-serve %q: %v (want host:port, e.g. 127.0.0.1:8080)", serve, err)
+		}
+	}
+	if exp != "all" {
+		known := false
+		for _, n := range names {
+			known = known || exp == n
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment %q (want one of %s, all)", exp, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig5, fig6, table2, fig7, fig8, fig9, fig9x, handshake, fig10, ablations, all)")
 	scale := flag.Int("scale", 2, "kernel input scale")
@@ -69,6 +99,17 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	serve := flag.String("serve", "", "serve live observability (/metrics, /critpath, /events, /debug/pprof) on this address while the sweep runs")
 	flag.Parse()
+
+	exps := expList(*workloads)
+	var names []string
+	for _, e := range exps {
+		names = append(names, e.name)
+	}
+	if err := validateFlags(*exp, *scale, *workloads, *serve, names); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexexp:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -127,27 +168,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, s.Summary())
 	}
 
-	exps := expList(*workloads)
+	// validateFlags already pinned *exp to "all" or a known name.
 	if *exp == "all" {
 		for _, e := range exps {
 			run(e)
 		}
-		finish()
-		return
-	}
-	for _, e := range exps {
-		if e.name == *exp {
-			run(e)
-			finish()
-			return
+	} else {
+		for _, e := range exps {
+			if e.name == *exp {
+				run(e)
+				break
+			}
 		}
 	}
-	var names []string
-	for _, e := range exps {
-		names = append(names, e.name)
-	}
-	fmt.Fprintf(os.Stderr, "tflexexp: unknown experiment %q (want one of %s, all)\n", *exp, strings.Join(names, ", "))
-	os.Exit(2)
+	finish()
 }
 
 // writeFile creates path and streams write into it.

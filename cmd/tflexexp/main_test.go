@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	names := []string{"table1", "fig6", "fig10"}
+	tests := []struct {
+		name      string
+		exp       string
+		scale     int
+		workloads int
+		serve     string
+		wantErr   string // substring of the error; "" means valid
+	}{
+		{"defaults", "all", 2, 10, "", ""},
+		{"named experiment", "fig6", 1, 1, "", ""},
+		{"serve host:port", "all", 2, 10, "127.0.0.1:18573", ""},
+		{"serve wildcard port", "all", 2, 10, ":8080", ""},
+		{"zero scale", "all", 0, 10, "", "-scale"},
+		{"zero workloads", "all", 2, 0, "", "-workloads"},
+		{"serve missing port", "all", 2, 10, "localhost", "-serve"},
+		{"serve garbage", "all", 2, 10, "not an address", "-serve"},
+		{"unknown experiment", "fig99", 2, 10, "", "unknown experiment"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateFlags(tt.exp, tt.scale, tt.workloads, tt.serve, names)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%q, %d, %d, %q) = %v, want nil", tt.exp, tt.scale, tt.workloads, tt.serve, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validateFlags(%q, %d, %d, %q) = %v, want error containing %q", tt.exp, tt.scale, tt.workloads, tt.serve, err, tt.wantErr)
+			}
+		})
+	}
+}

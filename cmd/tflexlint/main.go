@@ -1,0 +1,140 @@
+// tflexlint runs the project's static-analysis suite (internal/lint)
+// over the module: stdlib-only go/ast + go/types analyzers that enforce
+// the simulator's determinism, pooling, telemetry-cost and
+// event-ordering invariants.
+//
+// Usage:
+//
+//	go run ./cmd/tflexlint ./...            # whole module (the ci.sh lint stage)
+//	go run ./cmd/tflexlint ./internal/sim   # one package subtree
+//	go run ./cmd/tflexlint -analyzers determinism,poolguard ./...
+//	go run ./cmd/tflexlint -list            # describe the analyzers
+//
+// Findings print as "file:line:col: [analyzer] message" and make the
+// exit status 1; a clean tree exits 0.  Suppress an audited finding
+// with a `//lint:allow <analyzer> <reason>` comment on the flagged
+// line or the line above — unused directives are themselves findings,
+// so suppressions cannot go stale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/clp-sim/tflex/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tflexlint [-list] [-analyzers a,b] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *analyzersFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(*analyzersFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tflexlint:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexlint:", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexlint:", err)
+		os.Exit(2)
+	}
+
+	filter, err := packageFilter(cwd, root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexlint:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflexlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(m, analyzers, filter)
+	for _, d := range diags {
+		// Print module-relative paths: stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tflexlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// packageFilter turns command-line patterns into a package predicate.
+// Supported: "./..." (everything), "dir/..." (subtree) and plain
+// directories, all relative to the current directory.
+func packageFilter(cwd, root string, args []string) (func(*lint.Package) bool, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	type pat struct {
+		rel     string // module-relative path prefix ("" = module root)
+		subtree bool
+	}
+	var pats []pat
+	for _, a := range args {
+		subtree := false
+		if rest, ok := strings.CutSuffix(a, "/..."); ok {
+			subtree = true
+			a = rest
+			if a == "." || a == "" {
+				a = "."
+			}
+		}
+		abs := a
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, a)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q lies outside the module at %s", a, root)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		pats = append(pats, pat{rel: filepath.ToSlash(rel), subtree: subtree})
+	}
+	return func(p *lint.Package) bool {
+		for _, pt := range pats {
+			if p.RelPath == pt.rel {
+				return true
+			}
+			if pt.subtree && (pt.rel == "" || strings.HasPrefix(p.RelPath, pt.rel+"/")) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

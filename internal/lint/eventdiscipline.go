@@ -1,0 +1,151 @@
+package lint
+
+// The event-discipline analyzer.  The engine's event layer offers
+// exactly one correct way to schedule work: Chip.schedule /
+// Chip.scheduleEv, which clamp the target cycle to now and stamp the
+// deterministic insertion sequence number.  Both queue implementations
+// (the bucketed calendar queue and the reference heap) assume it —
+// calQueue.push in particular documents "the caller guarantees
+// e.at >= q.base", which only holds because scheduleEv clamps.  Two
+// mistakes re-introduce the bugs that contract removed:
+//
+//   - pushing or popping a queue directly, which skips the seq stamp
+//     (breaking the (at, seq) total order that makes the two queues
+//     byte-identical) and the clamp (breaking the calendar-queue bucket
+//     invariant);
+//   - computing a target cycle by *subtracting from now* — the clamp
+//     turns the intended past cycle into "this cycle", silently
+//     reordering what was meant to be causality into coincidence.
+//
+// Queue internals (event.go) and the two blessed Chip entry points are
+// the only places allowed to touch the queues.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EventDiscipline enforces calendar-queue access and forward-only
+// scheduling in the engine package.
+var EventDiscipline = &Analyzer{
+	Name: "event-discipline",
+	Doc:  "events are scheduled only through Chip.scheduleEv, at cycles >= now",
+	Run:  runEventDiscipline,
+}
+
+var eventDisciplineScope = []string{"internal/sim"}
+
+// queueTypes are the event-queue implementations; direct method access
+// is confined to event.go plus the blessed Chip functions.
+var queueTypes = map[string]bool{"calQueue": true, "eventQueue": true, "minEvHeap": true}
+
+// queueMethods are the ordering-sensitive operations.
+var queueMethods = map[string]bool{"push": true, "popMin": true, "Push": true, "Pop": true}
+
+// blessedFuncs may operate on the queues directly: the stamping
+// entry point and the drain loop.
+var blessedFuncs = map[string]bool{"scheduleEv": true, "Run": true}
+
+func runEventDiscipline(m *Module, pkg *Package, report ReportFunc) {
+	if !inScope(pkg.RelPath, eventDisciplineScope) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fromEventFile := pkg.FileName(fd.Pos()) == "event.go"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkQueueAccess(pkg, fd, call, fromEventFile, report)
+				checkPastSchedule(pkg, call, report)
+				return true
+			})
+		}
+	}
+}
+
+// checkQueueAccess flags direct queue push/pop outside event.go and the
+// blessed Chip functions.
+func checkQueueAccess(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, fromEventFile bool, report ReportFunc) {
+	if fromEventFile || blessedFuncs[fd.Name.Name] {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !queueMethods[sel.Sel.Name] {
+		return
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || !queueTypes[named.Obj().Name()] {
+		return
+	}
+	report(call.Pos(), "direct %s.%s bypasses Chip.scheduleEv: events must get their (at, seq) stamp and now-clamp from the typed API", named.Obj().Name(), sel.Sel.Name)
+}
+
+// checkPastSchedule flags schedule/scheduleEv calls whose cycle
+// argument subtracts from the current cycle.
+func checkPastSchedule(pkg *Package, call *ast.CallExpr, report ReportFunc) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "schedule" && sel.Sel.Name != "scheduleEv") || len(call.Args) < 1 {
+		return
+	}
+	if sub := pastCycleExpr(call.Args[0]); sub != "" {
+		report(call.Args[0].Pos(), "cycle argument %s schedules before Now(): the clamp would silently move it to the current cycle — compute forward delays only", sub)
+	}
+}
+
+// pastCycleExpr returns the rendered subtraction if e (or a
+// subexpression) subtracts from the current cycle (an operand chain
+// ending in .now or a Now() call).
+func pastCycleExpr(e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.SUB || found != "" {
+			return true
+		}
+		if mentionsNow(be.X) {
+			found = render(be)
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsNow reports whether e reads the current cycle: a selector or
+// identifier named now, or a Now() call.
+func mentionsNow(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "now" || n.Sel.Name == "Now" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "now" {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found && strings.Contains(render(e), "Now()") {
+		found = true
+	}
+	return found
+}

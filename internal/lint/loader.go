@@ -1,0 +1,435 @@
+package lint
+
+// The loader: a stdlib-only substitute for golang.org/x/tools/go/packages.
+//
+// Every analyzer in this package needs the same three things — parsed
+// syntax with comments, resolved identifiers, and type information for
+// module-local declarations — and the lint stage has a ~5s budget in
+// ci.sh, so the loader parses and type-checks the whole module exactly
+// once and every analyzer runs over the shared result.
+//
+// Cross-module (standard library) imports are satisfied with empty
+// placeholder packages instead of being type-checked from source: the
+// invariants tflexlint enforces are stated in terms of *this module's*
+// declarations (sim.Chip fields, telemetry.Histogram methods, the
+// critpath block pool), so stdlib member types may come out as
+// `invalid` without costing any analyzer precision — the few stdlib
+// shapes that matter (`sync.Pool`, `sort.*`, `time`/`math/rand`
+// imports) are matched on resolved import names, not on stdlib type
+// information.  That trade keeps a full-module load under a second
+// where a source-importing load of net/http alone would blow the
+// budget.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path    string // import path ("example.com/mod/internal/sim")
+	RelPath string // module-relative path ("internal/sim"; "" for the root)
+	Dir     string
+	Files   []*ast.File
+	Fset    *token.FileSet
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// FileName returns the base name of the file containing pos.
+func (p *Package) FileName(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Module is a fully loaded module: every package, sharing one FileSet.
+type Module struct {
+	Root string // directory containing go.mod
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // topologically ordered, dependencies first
+
+	nilSafe map[methodKey]bool
+}
+
+type methodKey struct {
+	pkgPath  string
+	typeName string
+	method   string
+}
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule loads the module rooted at root (its go.mod names the
+// module path).
+func LoadModule(root string) (*Module, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	return LoadTree(root, modPath)
+}
+
+// LoadTree loads every package under root as if root were the directory
+// of a module named modPath.  Test files (_test.go), testdata trees,
+// hidden and underscore-prefixed directories are skipped.
+func LoadTree(root, modPath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	// Parse every directory that holds non-test Go files.
+	byPath := map[string]*Package{}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(m.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		pkg := &Package{
+			Path:    path.Join(modPath, rel),
+			RelPath: rel,
+			Dir:     dir,
+			Files:   files,
+			Fset:    m.Fset,
+		}
+		byPath[pkg.Path] = pkg
+	}
+
+	ordered, err := topoSort(byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{local: map[string]*types.Package{}, fake: map[string]*types.Package{}}
+	for _, pkg := range ordered {
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(error) {}, // stdlib members resolve to invalid types; that is expected
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		tpkg, _ := conf.Check(pkg.Path, m.Fset, pkg.Files, info) // errors swallowed above
+		if tpkg == nil {
+			tpkg = types.NewPackage(pkg.Path, "")
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		imp.local[pkg.Path] = tpkg
+	}
+	m.Pkgs = ordered
+	m.computeNilSafe()
+	return m, nil
+}
+
+// topoSort orders packages dependencies-first using module-local import
+// edges only.
+func topoSort(byPath map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var ordered []*Package
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		}
+		state[p] = visiting
+		pkg := byPath[p]
+		var deps []string
+		for _, f := range pkg.Files {
+			for _, spec := range f.Imports {
+				dep := importPath(spec)
+				if _, ok := byPath[dep]; ok && dep != p {
+					deps = append(deps, dep)
+				}
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		ordered = append(ordered, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	return strings.Trim(s, `"`)
+}
+
+// moduleImporter resolves module-local imports to their checked
+// packages and everything else (the standard library) to empty
+// placeholders.
+type moduleImporter struct {
+	local map[string]*types.Package
+	fake  map[string]*types.Package
+}
+
+func (imp *moduleImporter) Import(p string) (*types.Package, error) {
+	if pkg, ok := imp.local[p]; ok {
+		return pkg, nil
+	}
+	if pkg, ok := imp.fake[p]; ok {
+		return pkg, nil
+	}
+	pkg := types.NewPackage(p, path.Base(p))
+	pkg.MarkComplete()
+	imp.fake[p] = pkg
+	return pkg, nil
+}
+
+// computeNilSafe records every pointer-receiver method in the module
+// whose body opens with a `if recv == nil { ... }` guard — the
+// callee-side variant of the telemetry disabled-cost contract.  A
+// method whose statements all delegate to other methods on its own
+// receiver (`func (t *T) A() { t.b() }`) inherits nil-safety from its
+// delegates, resolved to a fixpoint.
+func (m *Module) computeNilSafe() {
+	m.nilSafe = map[methodKey]bool{}
+	type delegation struct {
+		key   methodKey
+		calls []methodKey
+	}
+	var delegators []delegation
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil || len(fd.Body.List) == 0 {
+					continue
+				}
+				names := fd.Recv.List[0].Names
+				if len(names) != 1 {
+					continue
+				}
+				recv := names[0].Name
+				typeName := receiverTypeName(fd.Recv.List[0].Type)
+				if typeName == "" {
+					continue
+				}
+				key := methodKey{pkg.Path, typeName, fd.Name.Name}
+				if first, ok := fd.Body.List[0].(*ast.IfStmt); ok && condChecksNil(first.Cond, recv) {
+					m.nilSafe[key] = true
+					continue
+				}
+				if calls := receiverDelegations(fd, recv, pkg.Path, typeName); calls != nil {
+					delegators = append(delegators, delegation{key: key, calls: calls})
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range delegators {
+			if m.nilSafe[d.key] {
+				continue
+			}
+			safe := true
+			for _, c := range d.calls {
+				if !m.nilSafe[c] {
+					safe = false
+					break
+				}
+			}
+			if safe {
+				m.nilSafe[d.key] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// receiverDelegations returns the methods fd forwards to when every
+// statement is a bare call (or return of a call) on fd's own receiver;
+// nil if fd does anything else.
+func receiverDelegations(fd *ast.FuncDecl, recv, pkgPath, typeName string) []methodKey {
+	var calls []methodKey
+	callOnRecv := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isIdentNamed(sel.X, recv) {
+			return false
+		}
+		calls = append(calls, methodKey{pkgPath, typeName, sel.Sel.Name})
+		return true
+	}
+	for _, s := range fd.Body.List {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if !callOnRecv(s.X) {
+				return nil
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) != 1 || !callOnRecv(s.Results[0]) {
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	return calls
+}
+
+// NilSafeMethod reports whether method on the named type (declared in
+// the package with import path pkgPath) opens with a nil-receiver
+// guard.
+func (m *Module) NilSafeMethod(pkgPath, typeName, method string) bool {
+	return m.nilSafe[methodKey{pkgPath, typeName, method}]
+}
+
+// receiverTypeName unwraps *T / generic instantiations to the bare
+// receiver type name.
+func receiverTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// condChecksNil reports whether cond contains `name == nil` as a
+// top-level || / && operand (evaluation reaches it before any member
+// access on name can fault).
+func condChecksNil(cond ast.Expr, name string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(c.X, name)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR, token.LAND:
+			return condChecksNil(c.X, name) || condChecksNil(c.Y, name)
+		case token.EQL:
+			return isIdentNamed(c.X, name) && isNilIdent(c.Y) ||
+				isIdentNamed(c.Y, name) && isNilIdent(c.X)
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,407 @@
+package lint
+
+// The poolguard analyzer.  The engine's allocation budget (15
+// allocs/block, and the 1.04x critpath overhead) rests on sync.Pool
+// recycling of per-block records, and pooled storage is only safe
+// because every pooled type carries a generation tag: stale events and
+// stale array entries are recognized by comparing their recorded
+// generation against the record's current one.  Three conventions keep
+// that sound, and this analyzer enforces all three:
+//
+//  1. A pool that is Get from must be Put to somewhere in the same
+//     package — a missing Put silently degrades the pool to plain
+//     allocation and erodes the measured overhead budgets.
+//  2. The pooled type must declare a generation field (name containing
+//     "gen"), the tag that makes recycled storage's stale contents
+//     invisible.
+//  3. That generation field must be advanced somewhere in the package
+//     (the reset path); a pool whose generation never moves would
+//     resurrect stale records.
+//
+// Plus a function-local leak check: a Get result that neither escapes
+// the function (return, store, call argument) nor is Put back is a
+// straight leak of pooled storage.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolGuard enforces the sync.Pool recycling conventions.
+var PoolGuard = &Analyzer{
+	Name: "poolguard",
+	Doc:  "sync.Pool Get/Put pairing, generation-tagged pooled types, advanced-on-reset generations",
+	Run:  runPoolGuard,
+}
+
+// poolDecl is one `var x = sync.Pool{...}` (or &sync.Pool{...}) in the
+// package.
+type poolDecl struct {
+	name   *ast.Ident
+	obj    types.Object
+	lit    *ast.CompositeLit // the sync.Pool literal, if any
+	gets   int
+	puts   int
+	pooled *types.TypeName // element type from the New func, if resolvable
+}
+
+func runPoolGuard(m *Module, pkg *Package, report ReportFunc) {
+	pools := findPools(pkg)
+	if len(pools) == 0 {
+		return
+	}
+	byObj := map[types.Object]*poolDecl{}
+	for _, p := range pools {
+		if p.obj != nil {
+			byObj[p.obj] = p
+		}
+	}
+
+	// Count Get/Put call sites per pool, and run the per-function leak
+	// check as we go.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLeaks(pkg, fd, byObj, report)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pool, method := poolCall(pkg, call, byObj)
+				if pool == nil {
+					return true
+				}
+				switch method {
+				case "Get":
+					pool.gets++
+				case "Put":
+					pool.puts++
+				}
+				return true
+			})
+		}
+	}
+
+	for _, p := range pools {
+		if p.gets > 0 && p.puts == 0 {
+			report(p.name.Pos(), "sync.Pool %s has %d Get call(s) but no Put: pooled objects are never recycled", p.name.Name, p.gets)
+		}
+		if p.pooled == nil {
+			continue
+		}
+		genField := generationField(p.pooled)
+		if genField == "" {
+			report(p.pooled.Pos(), "pooled type %s lacks a generation field: recycled records cannot invalidate stale state", p.pooled.Name())
+			continue
+		}
+		if !generationWritten(pkg, p.pooled, genField) {
+			report(p.pooled.Pos(), "generation field %s.%s is never advanced: the reset path must bump it so stale entries stay invisible", p.pooled.Name(), genField)
+		}
+	}
+}
+
+// findPools locates sync.Pool variable declarations syntactically (the
+// loader does not type-check the standard library, so sync.Pool is
+// matched as a selector on the "sync" import).
+func findPools(pkg *Package) []*poolDecl {
+	var pools []*poolDecl
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				var lit *ast.CompositeLit
+				if vs.Type != nil && isSyncPoolType(pkg, vs.Type) {
+					if i < len(vs.Values) {
+						lit, _ = vs.Values[i].(*ast.CompositeLit)
+					}
+				} else if i < len(vs.Values) {
+					lit = syncPoolLit(pkg, vs.Values[i])
+					if lit == nil {
+						continue
+					}
+				} else {
+					continue
+				}
+				p := &poolDecl{name: name, lit: lit}
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					p.obj = obj
+				}
+				if lit != nil {
+					p.pooled = pooledType(pkg, lit)
+				}
+				pools = append(pools, p)
+			}
+			return true
+		})
+	}
+	return pools
+}
+
+// syncPoolLit unwraps e (possibly &...) to a sync.Pool composite literal.
+func syncPoolLit(pkg *Package, e ast.Expr) *ast.CompositeLit {
+	if ue, ok := e.(*ast.UnaryExpr); ok {
+		e = ue.X
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || lit.Type == nil || !isSyncPoolType(pkg, lit.Type) {
+		return nil
+	}
+	return lit
+}
+
+func isSyncPoolType(pkg *Package, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Pool" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync"
+}
+
+// pooledType extracts the element type from the pool's New func:
+// `func() any { return new(T) }` or `return &T{...}`.
+func pooledType(pkg *Package, lit *ast.CompositeLit) *types.TypeName {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			return nil
+		}
+		var tn *types.TypeName
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 || tn != nil {
+				return true
+			}
+			tn = typeNameOf(pkg, ret.Results[0])
+			return true
+		})
+		return tn
+	}
+	return nil
+}
+
+// typeNameOf resolves new(T), &T{...} or T{...} to T's declaration.
+func typeNameOf(pkg *Package, e ast.Expr) *types.TypeName {
+	switch e := e.(type) {
+	case *ast.CallExpr: // new(T)
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+			return identTypeName(pkg, e.Args[0])
+		}
+	case *ast.UnaryExpr: // &T{...}
+		return typeNameOf(pkg, e.X)
+	case *ast.CompositeLit:
+		return identTypeName(pkg, e.Type)
+	}
+	return nil
+}
+
+func identTypeName(pkg *Package, e ast.Expr) *types.TypeName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tn, _ := pkg.Info.Uses[id].(*types.TypeName)
+	return tn
+}
+
+// generationField returns the name of tn's generation field ("Gen",
+// "gen", "generation", ...), or "".
+func generationField(tn *types.TypeName) string {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		if strings.Contains(strings.ToLower(name), "gen") {
+			return name
+		}
+	}
+	return ""
+}
+
+// generationWritten reports whether any function in the package assigns
+// to or increments the named field on a value of tn's type.
+func generationWritten(pkg *Package, tn *types.TypeName, field string) bool {
+	written := false
+	isGenSel := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return false
+		}
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == tn
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if isGenSel(lhs) {
+						written = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if isGenSel(n.X) {
+					written = true
+				}
+			}
+			return !written
+		})
+		if written {
+			return true
+		}
+	}
+	return false
+}
+
+// poolCall matches calls of the form pool.Get() / pool.Put(x) where
+// pool resolves to a tracked sync.Pool variable.
+func poolCall(pkg *Package, call *ast.CallExpr, byObj map[types.Object]*poolDecl) (*poolDecl, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return nil, ""
+	}
+	pool, ok := byObj[obj]
+	if !ok {
+		return nil, ""
+	}
+	return pool, sel.Sel.Name
+}
+
+// checkFuncLeaks flags Get results that stay local to fd on every path
+// yet are never Put back: `x := pool.Get().(*T)` followed by neither a
+// Put, a return of x, a store of x anywhere non-local, nor passing x to
+// a call.
+func checkFuncLeaks(pkg *Package, fd *ast.FuncDecl, byObj map[types.Object]*poolDecl, report ReportFunc) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name == "_" {
+			return true
+		}
+		pool := getCallPool(pkg, as.Rhs[0], byObj)
+		if pool == nil {
+			return true
+		}
+		obj := pkg.Info.Defs[lhs]
+		if obj == nil {
+			obj = pkg.Info.Uses[lhs]
+		}
+		if obj == nil {
+			return true
+		}
+		if !escapesOrPut(pkg, fd, as, obj) {
+			report(as.Pos(), "result of %s.Get never escapes %s and is never Put back: pooled object leaks", pool.name.Name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// getCallPool unwraps `pool.Get()` / `pool.Get().(*T)` to its pool.
+func getCallPool(pkg *Package, e ast.Expr, byObj map[types.Object]*poolDecl) *poolDecl {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	pool, method := poolCall(pkg, call, byObj)
+	if method != "Get" {
+		return nil
+	}
+	return pool
+}
+
+// escapesOrPut reports whether obj (bound at stmt `get`) is returned,
+// stored beyond the function, passed to any call, or Put back.
+func escapesOrPut(pkg *Package, fd *ast.FuncDecl, get *ast.AssignStmt, obj types.Object) bool {
+	escapes := false
+	usesObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if escapes || n == nil || n.Pos() <= get.Pos() {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObj(r) {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if usesObj(a) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == get {
+				return true
+			}
+			for i, r := range n.Rhs {
+				if !usesObj(r) {
+					continue
+				}
+				// Re-binding to another local keeps it local; any
+				// selector/index store escapes.
+				if i < len(n.Lhs) {
+					if _, isIdent := n.Lhs[i].(*ast.Ident); isIdent {
+						continue
+					}
+				}
+				escapes = true
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}

@@ -1,0 +1,384 @@
+package lint
+
+// The telemetry-cost analyzer.  The telemetry and critical-path layers
+// are opt-in, and the engine's contract (DESIGN.md, "Telemetry") is
+// that a chip with them disabled pays *only nil checks* on the hot
+// paths: instrumentation state is stored as concrete pointers that are
+// nil while disabled, and every access is either behind a caller-side
+// `x != nil` guard or calls a method that opens with its own
+// nil-receiver guard.  Two patterns break the contract:
+//
+//   - an unguarded call through a field-stored telemetry pointer (nil
+//     panic when disabled, or silent always-on cost if the field is
+//     eagerly initialized to dodge the panic);
+//   - hiding instrumentation behind an interface value: interface
+//     dispatch costs an indirect call plus pointer-escape even when
+//     disabled, and a typed-nil inside a non-nil interface defeats the
+//     nil check anyway.
+//
+// The analyzer runs over the engine packages (internal/sim and
+// internal/noc) and flags calls on telemetry/critpath-typed values
+// reached through struct fields unless the call is dominated by a nil
+// check of that exact receiver chain or the callee is nil-receiver
+// safe.  Interface-typed telemetry fields and interface dispatch to
+// telemetry are flagged unconditionally.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TelemetryCost enforces the nil-check disabled-cost contract in the
+// engine's hot packages.
+var TelemetryCost = &Analyzer{
+	Name: "telemetry-cost",
+	Doc:  "telemetry/critpath access in engine packages must be nil-guarded concrete pointers, never interface calls",
+	Run:  runTelemetryCost,
+}
+
+// telemetryCostScope lists the module-relative engine packages the
+// contract covers.
+var telemetryCostScope = []string{"internal/sim", "internal/noc"}
+
+func inScope(relPath string, scope []string) bool {
+	for _, s := range scope {
+		if relPath == s || strings.HasSuffix(relPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// instrumentationPackage reports whether a package path is part of the
+// instrumentation layer the contract covers.
+func instrumentationPackage(path string) bool {
+	return strings.HasSuffix(path, "internal/telemetry") || strings.HasSuffix(path, "internal/critpath")
+}
+
+func runTelemetryCost(m *Module, pkg *Package, report ReportFunc) {
+	if !inScope(pkg.RelPath, telemetryCostScope) {
+		return
+	}
+
+	// Interface-typed instrumentation fields are banned outright.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pkg.Info.Types[field.Type]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if named := instrumentationNamed(tv.Type); named != nil {
+					if _, isIface := named.Underlying().(*types.Interface); isIface {
+						report(field.Pos(), "field stores instrumentation interface %s: use a concrete pointer so disabled cost is one nil check", named.Obj().Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedCalls(m, pkg, fd, report)
+		}
+	}
+}
+
+// instrumentationNamed unwraps pointers and returns the named
+// telemetry/critpath type behind t, if any.
+func instrumentationNamed(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if !instrumentationPackage(named.Obj().Pkg().Path()) {
+		return nil
+	}
+	return named
+}
+
+// checkGuardedCalls walks fd tracking which receiver chains are known
+// non-nil (enclosing `if x != nil` bodies, `if x == nil { return }`
+// early-outs, and fresh `x = New...()` assignments) and reports any
+// instrumentation call outside such a guard whose callee is not
+// nil-receiver safe.
+func checkGuardedCalls(m *Module, pkg *Package, fd *ast.FuncDecl, report ReportFunc) {
+	type guardSet map[string]bool
+
+	clone := func(g guardSet) guardSet {
+		out := make(guardSet, len(g))
+		for k := range g {
+			out[k] = true
+		}
+		return out
+	}
+
+	checkExpr := func(e ast.Expr, guards guardSet) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sel.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named := instrumentationNamed(tv.Type)
+			if named == nil {
+				return true
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				report(call.Pos(), "interface dispatch to instrumentation type %s: the disabled-cost contract requires concrete nil-checked pointers", named.Obj().Name())
+				return true
+			}
+			// Only nil-able receivers need guards: calls on struct
+			// *values* (per-proc Summary aggregates) cannot fault.
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+				return true
+			}
+			recv := render(sel.X)
+			if !strings.Contains(recv, ".") {
+				return true // parameter/local receivers are the caller's contract
+			}
+			if guards[recv] {
+				return true
+			}
+			if m.NilSafeMethod(named.Obj().Pkg().Path(), named.Obj().Name(), sel.Sel.Name) {
+				return true
+			}
+			report(call.Pos(), "unguarded call %s.%s on instrumentation pointer: guard with `if %s != nil` or make the method nil-receiver safe", recv, sel.Sel.Name, recv)
+			return true
+		})
+	}
+
+	var walkStmts func(list []ast.Stmt, guards guardSet)
+	var walkStmt func(s ast.Stmt, guards guardSet)
+
+	walkStmt = func(s ast.Stmt, guards guardSet) {
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			bodyGuards := clone(guards)
+			if s.Init != nil {
+				walkStmt(s.Init, guards)
+				// `if x := c.field; x != nil` — both names guard the body.
+				if a, ok := s.Init.(*ast.AssignStmt); ok && len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+					for _, g := range nonNilOperands(s.Cond) {
+						if g == render(a.Lhs[0]) {
+							bodyGuards[render(a.Rhs[0])] = true
+						}
+					}
+				}
+			}
+			checkExpr(s.Cond, guards)
+			for _, g := range nonNilOperands(s.Cond) {
+				bodyGuards[g] = true
+			}
+			walkStmts(s.Body.List, bodyGuards)
+			if s.Else != nil {
+				walkStmt(s.Else, clone(guards))
+			}
+		case *ast.BlockStmt:
+			walkStmts(s.List, clone(guards))
+		case *ast.ForStmt:
+			g := clone(guards)
+			if s.Init != nil {
+				walkStmt(s.Init, g)
+			}
+			if s.Cond != nil {
+				checkExpr(s.Cond, g)
+			}
+			if s.Post != nil {
+				walkStmt(s.Post, g)
+			}
+			walkStmts(s.Body.List, g)
+		case *ast.RangeStmt:
+			checkExpr(s.X, guards)
+			walkStmts(s.Body.List, clone(guards))
+		case *ast.SwitchStmt:
+			g := clone(guards)
+			if s.Init != nil {
+				walkStmt(s.Init, g)
+			}
+			if s.Tag != nil {
+				checkExpr(s.Tag, g)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						checkExpr(e, g)
+					}
+					walkStmts(cc.Body, clone(g))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			g := clone(guards)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, clone(g))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						walkStmt(cc.Comm, guards)
+					}
+					walkStmts(cc.Body, clone(guards))
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				checkExpr(r, guards)
+			}
+			for i, l := range s.Lhs {
+				checkExpr(l, guards)
+				// A fresh constructor result is non-nil: `c.sampler =
+				// telemetry.NewSampler(iv)` guards later accesses in
+				// this scope.
+				if i < len(s.Rhs) {
+					if call, ok := s.Rhs[i].(*ast.CallExpr); ok && constructorCall(pkg, call) {
+						guards[render(l)] = true
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			checkExpr(s.X, guards)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				checkExpr(r, guards)
+			}
+		case *ast.GoStmt:
+			checkExpr(s.Call, guards)
+		case *ast.DeferStmt:
+			checkExpr(s.Call, guards)
+		case *ast.IncDecStmt:
+			checkExpr(s.X, guards)
+		case *ast.SendStmt:
+			checkExpr(s.Chan, guards)
+			checkExpr(s.Value, guards)
+		case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+			if ls, ok := s.(*ast.LabeledStmt); ok {
+				walkStmt(ls.Stmt, guards)
+			}
+		}
+	}
+
+	walkStmts = func(list []ast.Stmt, guards guardSet) {
+		for _, s := range list {
+			// `if x == nil { return }` guards x for the rest of the list.
+			if ifs, ok := s.(*ast.IfStmt); ok && ifs.Init == nil && ifs.Else == nil && terminates(ifs.Body) {
+				if nils := nilOperands(ifs.Cond); len(nils) > 0 {
+					walkStmt(s, guards)
+					for _, g := range nils {
+						guards[g] = true
+					}
+					continue
+				}
+			}
+			walkStmt(s, guards)
+		}
+	}
+
+	walkStmts(fd.Body.List, guardSet{})
+}
+
+// nonNilOperands extracts receiver chains proven non-nil when cond is
+// true: `x != nil` operands joined by &&.
+func nonNilOperands(cond ast.Expr) []string {
+	var out []string
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return nonNilOperands(c.X)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			out = append(out, nonNilOperands(c.X)...)
+			out = append(out, nonNilOperands(c.Y)...)
+		case token.NEQ:
+			if isNilIdent(c.Y) {
+				out = append(out, render(c.X))
+			} else if isNilIdent(c.X) {
+				out = append(out, render(c.Y))
+			}
+		}
+	}
+	return out
+}
+
+// nilOperands extracts receiver chains proven non-nil after a
+// terminating `if x == nil || y == nil { return }`.
+func nilOperands(cond ast.Expr) []string {
+	var out []string
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return nilOperands(c.X)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR:
+			left, right := nilOperands(c.X), nilOperands(c.Y)
+			if len(left) > 0 && len(right) > 0 {
+				return append(left, right...)
+			}
+		case token.EQL:
+			if isNilIdent(c.Y) {
+				out = append(out, render(c.X))
+			} else if isNilIdent(c.X) {
+				out = append(out, render(c.Y))
+			}
+		}
+	}
+	return out
+}
+
+// terminates reports whether the block always leaves the enclosing
+// statement list (return / panic as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// constructorCall matches calls whose function name starts with "New"
+// (telemetry.NewSampler, NewRegistry, ...) — their results are non-nil
+// by construction.
+func constructorCall(pkg *Package, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "New")
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(fun.Sel.Name, "New")
+	}
+	return false
+}

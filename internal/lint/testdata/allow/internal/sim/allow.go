@@ -1,0 +1,34 @@
+// Fixture for //lint:allow handling: suppression on the same line and
+// the preceding line, an unused directive, a malformed directive and an
+// unknown-analyzer directive.  Expectations for this tree live in
+// TestAllowDirectives, not in want comments.
+package sim
+
+func trailingAllow(m map[string]int) string {
+	s := ""
+	for k := range m { //lint:allow determinism audited: fixture exercises same-line suppression
+		s += k
+	}
+	return s
+}
+
+func precedingAllow(m map[string]int) string {
+	s := ""
+	//lint:allow determinism audited: fixture exercises previous-line suppression
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+//lint:allow determinism nothing on the next line triggers this
+
+func unusedDirective() int { return 1 }
+
+//lint:allow
+
+func malformedDirective() int { return 2 }
+
+//lint:allow nosuchanalyzer because reasons
+
+func unknownAnalyzer() int { return 3 }

@@ -1,0 +1,10 @@
+// Fixture: command-line drivers may read the clock (progress lines,
+// profiles) — no finding here.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() { fmt.Println(time.Now()) }

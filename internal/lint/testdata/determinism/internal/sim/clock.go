@@ -1,0 +1,62 @@
+// Fixture: the determinism analyzer must flag wall-clock/rand imports
+// in engine packages and order-sensitive map iteration, while accepting
+// the three blessed shapes (sorted keys, map writes, integer
+// accumulation).
+package sim
+
+import (
+	"fmt"
+	"math/rand" // want "outside the driver allowlist"
+	"sort"
+	"time" // want "outside the driver allowlist"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func jitter() int { return rand.Int() }
+
+func emit(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want "iteration order is randomized"
+		out += fmt.Sprintf("%s=%d\n", k, v)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: collected keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func tally(m map[string]int) int {
+	n := 0
+	for _, v := range m { // ok: integer accumulation commutes
+		n += v
+	}
+	return n
+}
+
+func index(src, dst map[string]int) {
+	for k, v := range src { // ok: map writes commute
+		dst[k] = v
+	}
+}
+
+func geoSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "iteration order is randomized"
+		s += v
+	}
+	return s
+}
+
+func pickAny(m map[string]int) int {
+	for _, v := range m { // want "iteration order is randomized"
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+// Fixture: only scheduleEv/Run may operate on the queues, and nothing
+// may compute a target cycle by subtracting from now.
+package sim
+
+type Chip struct {
+	cal *calQueue
+	now uint64
+	seq uint64
+}
+
+func (c *Chip) scheduleEv(at uint64, e event) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	e.at = at
+	e.seq = c.seq
+	c.cal.push(e) // ok: scheduleEv is the blessed entry point
+}
+
+func (c *Chip) Run() {
+	for len(c.cal.evs) > 0 {
+		e := c.cal.popMin() // ok: Run is the blessed drain loop
+		c.now = e.at
+	}
+}
+
+func (c *Chip) sneak(e event) {
+	c.cal.push(e) // want "direct calQueue.push bypasses Chip.scheduleEv"
+}
+
+func (c *Chip) steal() event {
+	return c.cal.popMin() // want "direct calQueue.popMin bypasses Chip.scheduleEv"
+}
+
+func (c *Chip) retro(e event) {
+	c.scheduleEv(c.now-1, e) // want "schedules before Now()"
+	c.scheduleEv(c.now+2, e) // ok: forward delay
+}
+
+func (c *Chip) forward(t uint64, e event) {
+	c.scheduleEv(t-1, e) // ok: t is not the current cycle
+}

@@ -1,0 +1,69 @@
+// Fixture: the poolguard analyzer must flag Get-without-Put pools,
+// pooled types without a generation field, generations that are never
+// advanced, and function-local Get results that leak.
+package sim
+
+import "sync"
+
+// Rec is a well-behaved pooled record: generation-tagged and advanced
+// on reset.
+type Rec struct {
+	Gen uint32
+	X   int
+}
+
+var recPool = sync.Pool{New: func() any { return new(Rec) }}
+
+func getRec() *Rec {
+	r := recPool.Get().(*Rec)
+	r.reset()
+	return r
+}
+
+// reset advances the generation so entries recorded against the
+// previous lease read as stale.
+func (r *Rec) reset() {
+	r.Gen++
+	r.X = 0
+}
+
+func putRec(r *Rec) { recPool.Put(r) }
+
+// leakPool is Get from but never Put to.
+var leakPool = sync.Pool{New: func() any { return new(Rec) }} // want "but no Put"
+
+func borrow() *Rec { return leakPool.Get().(*Rec) }
+
+// Plain has no generation field, so recycled records would resurrect
+// stale state unnoticed.
+type Plain struct{ X int } // want "lacks a generation field"
+
+var plainPool = sync.Pool{New: func() any { return new(Plain) }}
+
+func getPlain() *Plain  { return plainPool.Get().(*Plain) }
+func putPlain(p *Plain) { plainPool.Put(p) }
+
+// Stale carries a generation field that nothing ever advances.
+type Stale struct{ Gen uint32 } // want "never advanced"
+
+var stalePool = sync.Pool{New: func() any { return new(Stale) }}
+
+func getStale() *Stale  { return stalePool.Get().(*Stale) }
+func putStale(s *Stale) { stalePool.Put(s) }
+
+// localLeak takes a record out of the pool, uses it locally and drops
+// it on the floor.
+func localLeak() int {
+	r := recPool.Get().(*Rec) // want "never escapes"
+	r.X = 7
+	return 3
+}
+
+// localRoundTrip is fine: the Get result is Put back.
+func localRoundTrip() int {
+	r := recPool.Get().(*Rec)
+	r.Gen++
+	x := r.X
+	recPool.Put(r)
+	return x
+}

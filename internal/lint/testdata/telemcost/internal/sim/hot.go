@@ -1,0 +1,39 @@
+// Fixture: engine package under the telemetry-cost contract.  Calls on
+// field-stored instrumentation pointers must be nil-guarded or hit
+// nil-safe methods; interface-typed instrumentation is banned outright.
+package sim
+
+import "example.com/fix/internal/telemetry"
+
+type Chip struct {
+	hist  *telemetry.Histogram
+	probe telemetry.Probe // want "instrumentation interface"
+}
+
+func (c *Chip) hot(v uint64) {
+	c.hist.Observe(v) // ok: Observe is nil-receiver safe
+	c.hist.Touch()    // ok: delegates to a nil-safe method
+	c.hist.Add(v)     // want "unguarded call c.hist.Add"
+	if c.hist != nil {
+		c.hist.Add(v) // ok: guarded by the enclosing if
+	}
+	c.probe.Fire() // want "interface dispatch to instrumentation type Probe"
+}
+
+func (c *Chip) early(v uint64) {
+	if c.hist == nil {
+		return
+	}
+	c.hist.Add(v) // ok: early-return guard dominates
+}
+
+func (c *Chip) fresh() {
+	c.hist = telemetry.NewHistogram()
+	c.hist.Add(1) // ok: freshly constructed, provably non-nil
+}
+
+func (c *Chip) initGuard(v uint64) {
+	if h := c.hist; h != nil {
+		h.Add(v) // ok: guarded through the if-init binding
+	}
+}

@@ -1,0 +1,27 @@
+// Fixture instrumentation package: Observe is nil-receiver safe (and
+// Touch inherits that by delegation), Add is not, and Probe is an
+// interface no engine field may hold.
+package telemetry
+
+type Histogram struct{ n uint64 }
+
+// Observe is safe on nil.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.n += v
+}
+
+// Touch delegates to a nil-safe method, so it is nil-safe too.
+func (h *Histogram) Touch() { h.Observe(1) }
+
+// Add is NOT nil-safe: callers must guard.
+func (h *Histogram) Add(v uint64) { h.n += v }
+
+// NewHistogram returns a fresh, non-nil histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Probe is instrumentation behind an interface — banned in engine
+// structs.
+type Probe interface{ Fire() }

@@ -88,6 +88,7 @@ func (s *Server) PublishSample(cycle uint64, names []string, row []float64) {
 		return
 	}
 	s.mu.Lock()
+	//lint:allow determinism subscribers are independent SSE streams; each sees its own rows in order and no simulation state depends on delivery order across subscribers
 	for _, ch := range s.subs {
 		select {
 		case ch <- payload:

@@ -74,6 +74,7 @@ func (s *Store[K, V]) Each(visit func(K, V)) {
 		snap[k] = e
 	}
 	s.mu.Unlock()
+	//lint:allow determinism Each's contract is explicitly order-free; output-path callers must collect into keyed maps and render in sorted order
 	for k, e := range snap {
 		select {
 		case <-e.done:

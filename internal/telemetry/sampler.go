@@ -40,8 +40,12 @@ func (s *Sampler) Interval() uint64 {
 }
 
 // Track adds a named series evaluated at every subsequent sample point.
-// A series added mid-run reads 0 for the rows recorded before it.
+// A series added mid-run reads 0 for the rows recorded before it.  Safe
+// on nil.
 func (s *Sampler) Track(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
 	s.names = append(s.names, name)
 	s.sources = append(s.sources, fn)
 }
