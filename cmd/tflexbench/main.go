@@ -17,6 +17,17 @@
 // absolute wall seconds of each pass are also exported at top level so
 // regressions in the instrumented paths are visible without arithmetic.
 //
+// Two further passes measure the event-domain engine where domains
+// actually multiply: a multiprogrammed workload (four copies of every
+// suite kernel on four 8-core partitions, one event domain per
+// processor) run serially (ParallelDomains=1, the merged window
+// scheduler) and in parallel (ParallelDomains = -par, the worker pool).
+// Both passes simulate bit-identical chips, so "parallel_speedup" is a
+// pure wall-clock ratio; the report records the host's CPU count
+// ("cpus") alongside it because the ratio can only exceed 1 when the
+// worker pool actually has cores to spread over — ci.sh gates the
+// speedup on multi-CPU hosts only.
+//
 // Each pass runs -reps times (default 8), interleaved round-robin with
 // the others in alternating (ABBA) order, and the fastest repetition is
 // reported for absolute numbers: wall-clock minima isolate the code's
@@ -60,12 +71,28 @@ type report struct {
 	Workload  string       `json:"workload"`
 	Scale     int          `json:"scale"`
 	Jobs      int          `json:"jobs"`
+	CPUs      int          `json:"cpus"`
 	GoVersion string       `json:"go_version"`
 	Optimized engineResult `json:"optimized"`
 	Reference engineResult `json:"reference"`
 	Telemetry engineResult `json:"telemetry"`
 	CritPath  engineResult `json:"critpath"`
 	Speedup   float64      `json:"speedup"`
+	// MultiWorkload is the multiprogrammed job grid measured by the
+	// serial_domains and parallel_domains passes.
+	MultiWorkload string `json:"multi_workload"`
+	// SerialDomains and ParallelDomains time the identical
+	// multiprogrammed simulation under the merged window scheduler
+	// (ParallelDomains=1) and the worker pool (ParallelDomains =
+	// parallel_domain_count); the chips they simulate are bit-identical.
+	SerialDomains       engineResult `json:"serial_domains"`
+	ParallelDomains     engineResult `json:"parallel_domains"`
+	ParallelDomainCount int          `json:"parallel_domain_count"`
+	// ParallelSpeedup is serial-domains wall over parallel-domains wall
+	// (median per-round ratio, see overheadOf).  Meaningful only when
+	// cpus > 1: on a single-CPU host the worker pool degenerates to
+	// serial execution plus barrier overhead.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 	// Absolute per-pass wall clock, duplicated from the engineResult
 	// blocks: the instrumented passes' raw times, recorded explicitly so
 	// trend tooling reads them without dividing ratios back out.
@@ -101,8 +128,12 @@ func grid() []job {
 // pass is one engine configuration measured by the benchmark.
 type pass struct {
 	reference, telemetry, critpath bool
-	runs                           []engineResult // one per round
-	best                           engineResult   // fastest round
+	// multi switches the pass to the multiprogrammed workload (see
+	// multiGrid); domains is its ParallelDomains setting.
+	multi   bool
+	domains int
+	runs    []engineResult // one per round
+	best    engineResult   // fastest round
 }
 
 // measureBest runs every pass reps times, interleaved round-robin, and
@@ -130,7 +161,7 @@ func measureBest(reps int, jobs []job, scale int, passes []*pass) error {
 			}
 		}
 		for _, ps := range order {
-			r, err := measure(jobs, scale, ps.reference, ps.telemetry, ps.critpath)
+			r, err := ps.measure(jobs, scale)
 			if err != nil {
 				return err
 			}
@@ -175,7 +206,14 @@ func overheadOf(a, b *pass) float64 {
 	return min(median, a.best.WallSeconds/b.best.WallSeconds)
 }
 
-func measure(jobs []job, scale int, reference, telemetry, critpath bool) (engineResult, error) {
+func (ps *pass) measure(jobs []job, scale int) (engineResult, error) {
+	if ps.multi {
+		return measureMulti(scale, ps.domains)
+	}
+	return measureGrid(jobs, scale, ps.reference, ps.telemetry, ps.critpath)
+}
+
+func measureGrid(jobs []job, scale int, reference, telemetry, critpath bool) (engineResult, error) {
 	opts := tflex.DefaultOptions()
 	opts.Reference = reference
 	// Start from a collected heap: without this, each pass is timed in
@@ -220,19 +258,83 @@ func measure(jobs []job, scale int, reference, telemetry, critpath bool) (engine
 	return r, nil
 }
 
+// multiCopies is the multiprogrammed workload's processor count: four
+// 8-core partitions tile the 32-core chip exactly, so every core
+// participates and the chip forms four event domains.
+const multiCopies = 4
+
+// multiWorkload describes the serial/parallel passes' job grid.
+func multiWorkload() string {
+	return fmt.Sprintf("multiprogram grid: %d jobs (suite kernels x %d copies on 8-core partitions)",
+		len(tflex.Kernels()), multiCopies)
+}
+
+// measureMulti times the multiprogrammed workload with the given
+// ParallelDomains setting.  SimCycles counts chip time (the slowest
+// processor of each job), not the sum over processors, so
+// sim_cycles_per_sec stays comparable with the single-program passes.
+func measureMulti(scale, domains int) (engineResult, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var r engineResult
+	for _, k := range tflex.Kernels() {
+		rects, err := tflex.Partition(8, multiCopies)
+		if err != nil {
+			return r, err
+		}
+		specs := make([]tflex.ProgramSpec, multiCopies)
+		insts := make([]*tflex.KernelInstance, multiCopies)
+		for i := range specs {
+			inst, err := tflex.BuildKernel(k.Name, scale)
+			if err != nil {
+				return r, err
+			}
+			insts[i] = inst
+			specs[i] = tflex.ProgramSpec{Prog: inst.Prog, Cores: rects[i], Init: inst.Init}
+		}
+		results, err := tflex.RunMulti(specs, tflex.RunConfig{ParallelDomains: domains})
+		if err != nil {
+			return r, fmt.Errorf("%s x%d (par %d): %w", k.Name, multiCopies, domains, err)
+		}
+		var chipCycles uint64
+		for i, res := range results {
+			if err := insts[i].Check(&res.Regs, res.Mem); err != nil {
+				return r, fmt.Errorf("%s proc %d (par %d): %w", k.Name, i, domains, err)
+			}
+			if res.Cycles > chipCycles {
+				chipCycles = res.Cycles
+			}
+			r.BlocksCommitted += res.Stats.BlocksCommitted
+		}
+		r.SimCycles += chipCycles
+	}
+	r.WallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	r.Allocs = m1.Mallocs - m0.Mallocs
+	r.SimCyclesPerSec = float64(r.SimCycles) / r.WallSeconds
+	r.AllocsPerBlock = float64(r.Allocs) / float64(r.BlocksCommitted)
+	return r, nil
+}
+
 // passNames are the -only values, in report order.
-var passNames = []string{"reference", "optimized", "telemetry", "critpath"}
+var passNames = []string{"reference", "optimized", "telemetry", "critpath", "serial", "parallel"}
 
 // validateFlags rejects flag values that would otherwise produce a
 // silent zero-value run: -reps 0 measures nothing and reports all-zero
-// numbers, -scale 0 simulates empty kernels, and a mistyped -only would
+// numbers, -scale 0 simulates empty kernels, -par 0 would ask the
+// parallel pass for zero domain workers, and a mistyped -only would
 // previously burn a full default-flag benchmark before erroring.
-func validateFlags(scale, reps int, only string) error {
+func validateFlags(scale, reps, par int, only string) error {
 	if scale < 1 {
 		return fmt.Errorf("-scale must be >= 1, got %d", scale)
 	}
 	if reps < 1 {
 		return fmt.Errorf("-reps must be >= 1, got %d", reps)
+	}
+	if par < 1 {
+		return fmt.Errorf("-par must be >= 1, got %d", par)
 	}
 	if only != "" {
 		known := false
@@ -250,12 +352,13 @@ func main() {
 	scale := flag.Int("scale", 1, "kernel input scale")
 	out := flag.String("out", "BENCH_sim.json", "output file")
 	reps := flag.Int("reps", 8, "repetitions per pass (interleaved, ABBA order); the fastest is reported")
-	only := flag.String("only", "", "run a single pass (reference|optimized|telemetry|critpath); for profiling")
+	only := flag.String("only", "", "run a single pass (reference|optimized|telemetry|critpath|serial|parallel); for profiling")
+	par := flag.Int("par", 8, "ParallelDomains for the parallel multiprogram pass")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	if err := validateFlags(*scale, *reps, *only); err != nil {
+	if err := validateFlags(*scale, *reps, *par, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexbench:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -278,26 +381,34 @@ func main() {
 
 	jobs := grid()
 	rep := report{
-		Workload:  fmt.Sprintf("fig6 grid: %d jobs (suite kernels x composition sizes + TRIPS)", len(jobs)),
-		Scale:     *scale,
-		Jobs:      1,
-		GoVersion: runtime.Version(),
+		Workload:            fmt.Sprintf("fig6 grid: %d jobs (suite kernels x composition sizes + TRIPS)", len(jobs)),
+		MultiWorkload:       multiWorkload(),
+		Scale:               *scale,
+		Jobs:                1,
+		CPUs:                runtime.NumCPU(),
+		GoVersion:           runtime.Version(),
+		ParallelDomainCount: *par,
 	}
 
 	// Round order: reference first so its allocation burst cannot
 	// inflate the optimized measurement's GC activity, and the
 	// instrumented passes adjacent to the optimized baseline they are
-	// priced against (overheadOf pairs within a round).
+	// priced against (overheadOf pairs within a round).  The serial and
+	// parallel multiprogram passes are likewise adjacent, since
+	// parallel_speedup pairs them per round.
 	reference := &pass{reference: true}
 	optimized := &pass{}
 	telemetry := &pass{telemetry: true}
 	critpath := &pass{critpath: true}
+	serial := &pass{multi: true, domains: 1}
+	parallel := &pass{multi: true, domains: *par}
 
 	if *only != "" {
 		// Single-pass mode: no report, just the pass under the profiler.
 		ps, ok := map[string]*pass{
 			"reference": reference, "optimized": optimized,
 			"telemetry": telemetry, "critpath": critpath,
+			"serial": serial, "parallel": parallel,
 		}[*only]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "tflexbench: unknown pass %q\n", *only)
@@ -313,7 +424,7 @@ func main() {
 	}
 
 	if err := measureBest(*reps, jobs, *scale,
-		[]*pass{reference, telemetry, optimized, critpath}); err != nil {
+		[]*pass{reference, telemetry, optimized, critpath, serial, parallel}); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexbench:", err)
 		os.Exit(1)
 	}
@@ -321,12 +432,15 @@ func main() {
 	rep.Optimized = optimized.best
 	rep.Telemetry = telemetry.best
 	rep.CritPath = critpath.best
+	rep.SerialDomains = serial.best
+	rep.ParallelDomains = parallel.best
 	rep.Speedup = rep.Reference.WallSeconds / rep.Optimized.WallSeconds
 	rep.OptimizedWallSeconds = rep.Optimized.WallSeconds
 	rep.TelemetryWallSeconds = rep.Telemetry.WallSeconds
 	rep.CritPathWallSeconds = rep.CritPath.WallSeconds
 	rep.TelemetryOverhead = overheadOf(telemetry, optimized)
 	rep.CritPathOverhead = overheadOf(critpath, optimized)
+	rep.ParallelSpeedup = overheadOf(serial, parallel)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -350,6 +464,11 @@ func main() {
 		rep.Telemetry.WallSeconds, rep.Telemetry.SimCyclesPerSec, rep.Telemetry.AllocsPerBlock)
 	fmt.Printf("  critpath   %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
 		rep.CritPath.WallSeconds, rep.CritPath.SimCyclesPerSec, rep.CritPath.AllocsPerBlock)
+	fmt.Printf("  serial     %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block  (multiprogram, 1 domain worker)\n",
+		rep.SerialDomains.WallSeconds, rep.SerialDomains.SimCyclesPerSec, rep.SerialDomains.AllocsPerBlock)
+	fmt.Printf("  parallel   %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block  (multiprogram, %d domain workers)\n",
+		rep.ParallelDomains.WallSeconds, rep.ParallelDomains.SimCyclesPerSec, rep.ParallelDomains.AllocsPerBlock, *par)
 	fmt.Printf("  speedup    %.2fx (telemetry overhead %.2fx, critpath overhead %.2fx)\n",
 		rep.Speedup, rep.TelemetryOverhead, rep.CritPathOverhead)
+	fmt.Printf("  parallel domains %.2fx on %d CPUs\n", rep.ParallelSpeedup, rep.CPUs)
 }

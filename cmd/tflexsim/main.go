@@ -7,7 +7,14 @@
 //	tflexsim -kernel mcf -trips
 //	tflexsim -kernel conv -cores 16 -critpath
 //	tflexsim -kernel conv -sweep -jobs 4
+//	tflexsim -kernel conv -cores 8 -procs 4 -par 4
 //	tflexsim -list
+//
+// -procs N multiprograms N copies of the kernel onto disjoint
+// compositions of -cores cores each (one chip, one event domain per
+// processor) and prints per-processor results; -par caps how many of
+// those domains simulate concurrently.  Results are bit-identical for
+// any -par value — the knob trades wall-clock time only.
 //
 // -critpath prints the cycle-exact critical-path attribution breakdown
 // after the run (every committed block's latency split across eight
@@ -46,9 +53,17 @@ func main() {
 	serve := flag.String("serve", "", "serve live observability (/metrics, /critpath, /events, /debug/pprof) on this address during the run")
 	sweep := flag.Bool("sweep", false, "run the kernel on every composition size concurrently and print the speedup curve")
 	jobs := flag.Int("jobs", 0, "concurrent simulation jobs for -sweep (<=0: GOMAXPROCS)")
+	procs := flag.Int("procs", 1, "multiprogram this many copies of the kernel on disjoint compositions")
+	par := flag.Int("par", 0, "cap on concurrently simulated event domains (<=1: serial; results identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if err := validateFlags(*cores, *scale, *procs, *par, *useTRIPS); err != nil {
+		fmt.Fprintln(os.Stderr, "tflexsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -76,10 +91,19 @@ func main() {
 		return
 	}
 
+	if *procs > 1 {
+		if err := runMultiProg(*kernel, *scale, *cores, *procs, *par); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	runCfg := tflex.RunConfig{
-		Cores:    *cores,
-		TRIPS:    *useTRIPS,
-		CritPath: *critPath,
+		Cores:           *cores,
+		TRIPS:           *useTRIPS,
+		CritPath:        *critPath,
+		ParallelDomains: *par,
 	}
 	if *serve != "" {
 		srv := tflex.NewObserver()
@@ -180,6 +204,81 @@ func main() {
 	if res.CritPath != nil {
 		fmt.Printf("  critical path     %s", res.CritPath.String())
 	}
+}
+
+// validateFlags rejects flag combinations before any simulation runs:
+// a composition size the chip cannot form, a partition that does not
+// fit the 32-core array, or a negative domain cap would otherwise
+// surface as a mid-run error (or, for -procs with -trips, silently run
+// a single processor).
+func validateFlags(cores, scale, procs, par int, trips bool) error {
+	if scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", scale)
+	}
+	if par < 0 {
+		return fmt.Errorf("-par must be >= 0 (0 or 1: serial), got %d", par)
+	}
+	if procs < 1 {
+		return fmt.Errorf("-procs must be >= 1, got %d", procs)
+	}
+	if trips {
+		if procs > 1 {
+			return fmt.Errorf("-procs multiprograms TFlex compositions; the TRIPS baseline (-trips) runs one processor")
+		}
+		return nil
+	}
+	sizeOK := false
+	for _, n := range tflex.CompositionSizes() {
+		sizeOK = sizeOK || cores == n
+	}
+	if !sizeOK {
+		return fmt.Errorf("-cores must be a composition size (1, 2, 4, 8, 16, 32), got %d", cores)
+	}
+	if procs*cores > tflex.NumCores {
+		return fmt.Errorf("-procs %d x -cores %d exceeds the %d-core chip", procs, cores, tflex.NumCores)
+	}
+	return nil
+}
+
+// runMultiProg multiprograms n copies of the kernel on disjoint
+// compositions of the given size — one event domain per processor, at
+// most par of them simulating concurrently — and prints per-processor
+// results.
+func runMultiProg(kernel string, scale, cores, n, par int) error {
+	rects, err := tflex.Partition(cores, n)
+	if err != nil {
+		return err
+	}
+	specs := make([]tflex.ProgramSpec, n)
+	insts := make([]*tflex.KernelInstance, n)
+	for i := range specs {
+		inst, err := tflex.BuildKernel(kernel, scale)
+		if err != nil {
+			return err
+		}
+		insts[i] = inst
+		specs[i] = tflex.ProgramSpec{Prog: inst.Prog, Cores: rects[i], Init: inst.Init}
+	}
+	results, err := tflex.RunMulti(specs, tflex.RunConfig{ParallelDomains: par})
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		if err := insts[i].Check(&r.Regs, r.Mem); err != nil {
+			return fmt.Errorf("proc %d output validation failed: %w", i, err)
+		}
+	}
+	mode := "serial"
+	if par > 1 {
+		mode = fmt.Sprintf("%d parallel domains", par)
+	}
+	fmt.Printf("%s x%d on TFlex-%d partitions (scale %d, %s): outputs validated against reference\n",
+		kernel, n, cores, scale, mode)
+	for i, r := range results {
+		fmt.Printf("  proc %d  cycles %12d  IPC %6.3f  blocks committed %d\n",
+			i, r.Cycles, r.Stats.IPC(), r.Stats.BlocksCommitted)
+	}
+	return nil
 }
 
 // runSweep fans the kernel's full composition sweep out across the

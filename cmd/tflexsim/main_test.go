@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	tests := []struct {
+		name    string
+		cores   int
+		scale   int
+		procs   int
+		par     int
+		trips   bool
+		wantErr string // substring of the error; "" means valid
+	}{
+		{"defaults", 8, 2, 1, 0, false, ""},
+		{"full-chip partition", 8, 1, 4, 4, false, ""},
+		{"single-core partition", 1, 1, 32, 8, false, ""},
+		{"trips baseline", 8, 2, 1, 0, true, ""},
+		{"trips ignores cores", 3, 2, 1, 0, true, ""},
+		{"zero scale", 8, 0, 1, 0, false, "-scale"},
+		{"negative par", 8, 1, 1, -1, false, "-par"},
+		{"zero procs", 8, 1, 0, 0, false, "-procs"},
+		{"trips multiprogram", 8, 1, 2, 0, true, "-procs"},
+		{"bad composition size", 3, 1, 1, 0, false, "-cores"},
+		{"partition too large", 8, 1, 5, 0, false, "exceeds"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateFlags(tt.cores, tt.scale, tt.procs, tt.par, tt.trips)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%d, %d, %d, %d, %t) = %v, want nil",
+						tt.cores, tt.scale, tt.procs, tt.par, tt.trips, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validateFlags(%d, %d, %d, %d, %t) = %v, want error containing %q",
+					tt.cores, tt.scale, tt.procs, tt.par, tt.trips, err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,24 +1,30 @@
 package lint
 
 // The event-discipline analyzer.  The engine's event layer offers
-// exactly one correct way to schedule work: Chip.schedule /
-// Chip.scheduleEv, which clamp the target cycle to now and stamp the
-// deterministic insertion sequence number.  Both queue implementations
-// (the bucketed calendar queue and the reference heap) assume it —
-// calQueue.push in particular documents "the caller guarantees
-// e.at >= q.base", which only holds because scheduleEv clamps.  Two
-// mistakes re-introduce the bugs that contract removed:
+// exactly one correct way to schedule work: the scheduleEv entry points
+// (on the chip for the reference queue, on each event domain for its
+// partitioned calendar queue), which clamp the target cycle to now and
+// stamp the insertion sequence number.  Both queue implementations
+// assume it — calQueue.push in particular documents its bucket
+// invariant in terms of the clamp.  Two mistakes re-introduce the bugs
+// that contract removed:
 //
-//   - pushing or popping a queue directly, which skips the seq stamp
-//     (breaking the (at, seq) total order that makes the two queues
-//     byte-identical) and the clamp (breaking the calendar-queue bucket
-//     invariant);
+//   - pushing or popping a queue directly from code that does not own
+//     it, which skips the seq stamp (breaking the (at, seq) total order
+//     that keeps every engine mode byte-identical) and the clamp
+//     (breaking the calendar-queue bucket invariant);
 //   - computing a target cycle by *subtracting from now* — the clamp
 //     turns the intended past cycle into "this cycle", silently
 //     reordering what was meant to be causality into coincidence.
 //
-// Queue internals (event.go) and the two blessed Chip entry points are
-// the only places allowed to touch the queues.
+// Ownership is structural, not nominal: a *queue owner* is any struct
+// type with a field of a queue type (Chip owns the reference heap, each
+// domain owns a calendar queue).  Pops are the owner's drain loops, so
+// any method of an owner may pop its queue; pushes must additionally go
+// through the owner's scheduleEv, where the stamp and clamp live.
+// Queue internals (event.go) are exempt wholesale.  Everything else —
+// free functions, methods of non-owner types — may not touch a queue at
+// all.
 
 import (
 	"go/ast"
@@ -31,27 +37,27 @@ import (
 // scheduling in the engine package.
 var EventDiscipline = &Analyzer{
 	Name: "event-discipline",
-	Doc:  "events are scheduled only through Chip.scheduleEv, at cycles >= now",
+	Doc:  "events are scheduled only through a queue owner's scheduleEv, at cycles >= now",
 	Run:  runEventDiscipline,
 }
 
 var eventDisciplineScope = []string{"internal/sim"}
 
 // queueTypes are the event-queue implementations; direct method access
-// is confined to event.go plus the blessed Chip functions.
+// is confined to event.go plus the methods of queue-owner types.
 var queueTypes = map[string]bool{"calQueue": true, "eventQueue": true, "minEvHeap": true}
 
-// queueMethods are the ordering-sensitive operations.
-var queueMethods = map[string]bool{"push": true, "popMin": true, "Push": true, "Pop": true}
+// pushMethods stamp-sensitively insert events: owner scheduleEv only.
+var pushMethods = map[string]bool{"push": true, "Push": true}
 
-// blessedFuncs may operate on the queues directly: the stamping
-// entry point and the drain loop.
-var blessedFuncs = map[string]bool{"scheduleEv": true, "Run": true}
+// popMethods remove or cursor-advance: any owner method (drain loops).
+var popMethods = map[string]bool{"popMin": true, "pop": true, "Pop": true, "nextAt": true}
 
 func runEventDiscipline(m *Module, pkg *Package, report ReportFunc) {
 	if !inScope(pkg.RelPath, eventDisciplineScope) {
 		return
 	}
+	owners := queueOwners(pkg)
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -59,12 +65,13 @@ func runEventDiscipline(m *Module, pkg *Package, report ReportFunc) {
 				continue
 			}
 			fromEventFile := pkg.FileName(fd.Pos()) == "event.go"
+			ownerMethod := owners[recvTypeName(fd)]
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				checkQueueAccess(pkg, fd, call, fromEventFile, report)
+				checkQueueAccess(pkg, fd, call, fromEventFile, ownerMethod, report)
 				checkPastSchedule(pkg, call, report)
 				return true
 			})
@@ -72,14 +79,63 @@ func runEventDiscipline(m *Module, pkg *Package, report ReportFunc) {
 	}
 }
 
-// checkQueueAccess flags direct queue push/pop outside event.go and the
-// blessed Chip functions.
-func checkQueueAccess(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, fromEventFile bool, report ReportFunc) {
-	if fromEventFile || blessedFuncs[fd.Name.Name] {
+// queueOwners returns the package's queue-owner types: named structs
+// with a field (plain or pointer) of a queue type.
+func queueOwners(pkg *Package) map[string]bool {
+	owners := map[string]bool{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			if ptr, isPtr := ft.(*types.Pointer); isPtr {
+				ft = ptr.Elem()
+			}
+			if named, isNamed := ft.(*types.Named); isNamed && queueTypes[named.Obj().Name()] {
+				owners[name] = true
+				break
+			}
+		}
+	}
+	return owners
+}
+
+// recvTypeName returns the base type name of a method receiver ("" for
+// free functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkQueueAccess flags direct queue operations outside event.go and
+// the queue-owner discipline: pops anywhere but an owner's methods,
+// pushes anywhere but an owner's scheduleEv.
+func checkQueueAccess(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, fromEventFile, ownerMethod bool, report ReportFunc) {
+	if fromEventFile {
 		return
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !queueMethods[sel.Sel.Name] {
+	if !ok {
+		return
+	}
+	isPush, isPop := pushMethods[sel.Sel.Name], popMethods[sel.Sel.Name]
+	if !isPush && !isPop {
 		return
 	}
 	tv, ok := pkg.Info.Types[sel.X]
@@ -94,7 +150,13 @@ func checkQueueAccess(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, fromEv
 	if !isNamed || !queueTypes[named.Obj().Name()] {
 		return
 	}
-	report(call.Pos(), "direct %s.%s bypasses Chip.scheduleEv: events must get their (at, seq) stamp and now-clamp from the typed API", named.Obj().Name(), sel.Sel.Name)
+	if isPush && !(ownerMethod && fd.Name.Name == "scheduleEv") {
+		report(call.Pos(), "direct %s.%s bypasses the owner's scheduleEv: events must get their (at, seq) stamp and now-clamp from the typed API", named.Obj().Name(), sel.Sel.Name)
+		return
+	}
+	if isPop && !ownerMethod {
+		report(call.Pos(), "direct %s.%s outside a queue-owner method: only a queue's owning type may drain it", named.Obj().Name(), sel.Sel.Name)
+	}
 }
 
 // checkPastSchedule flags schedule/scheduleEv calls whose cycle

@@ -1,9 +1,10 @@
-// Fixture: only scheduleEv/Run may operate on the queues, and nothing
-// may compute a target cycle by subtracting from now.
+// Fixture: pops are confined to queue-owner methods, pushes to the
+// owner's scheduleEv, and nothing may compute a target cycle by
+// subtracting from now.
 package sim
 
 type Chip struct {
-	cal *calQueue
+	ref *calQueue
 	now uint64
 	seq uint64
 }
@@ -15,22 +16,18 @@ func (c *Chip) scheduleEv(at uint64, e event) {
 	c.seq++
 	e.at = at
 	e.seq = c.seq
-	c.cal.push(e) // ok: scheduleEv is the blessed entry point
+	c.ref.push(e) // ok: the owner's stamping entry point
 }
 
 func (c *Chip) Run() {
-	for len(c.cal.evs) > 0 {
-		e := c.cal.popMin() // ok: Run is the blessed drain loop
+	for len(c.ref.evs) > 0 {
+		e := c.ref.popMin() // ok: a queue owner draining its queue
 		c.now = e.at
 	}
 }
 
 func (c *Chip) sneak(e event) {
-	c.cal.push(e) // want "direct calQueue.push bypasses Chip.scheduleEv"
-}
-
-func (c *Chip) steal() event {
-	return c.cal.popMin() // want "direct calQueue.popMin bypasses Chip.scheduleEv"
+	c.ref.push(e) // want "bypasses the owner's scheduleEv"
 }
 
 func (c *Chip) retro(e event) {

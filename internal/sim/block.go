@@ -170,7 +170,7 @@ func (p *Proc) deliver(b *IFB, target isa.Target, val uint64, dead bool, fromIdx
 		return // late arrival at squashed/dead instruction
 	}
 	if slot.got {
-		p.chip.fail("proc %d block %s inst %d: two values at one operand", p.id, b.blk.Name, idx)
+		p.fail("proc %d block %s inst %d: two values at one operand", p.id, b.blk.Name, idx)
 		return
 	}
 	slot.got, slot.val, slot.at = true, val, t
@@ -191,7 +191,7 @@ func (p *Proc) deliverWrite(b *IFB, wi int, val uint64, dead bool, fromIdx int, 
 	reg := b.blk.Writes[wi].Reg
 	if !dead {
 		if w.has {
-			p.chip.fail("proc %d block %s: two values at write slot %d", p.id, b.blk.Name, wi)
+			p.fail("proc %d block %s: two values at write slot %d", p.id, b.blk.Name, wi)
 			return
 		}
 		bank := p.regBankIdx(reg)
@@ -345,7 +345,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 	case in.Op == isa.OpLoad:
 		addr := st.left.val + uint64(in.Imm)
 		if addr%uint64(in.MemSize) != 0 {
-			p.chip.fail("proc %d block %s inst %d: misaligned %d-byte load at %#x",
+			p.fail("proc %d block %s inst %d: misaligned %d-byte load at %#x",
 				p.id, b.blk.Name, idx, in.MemSize, addr)
 			return
 		}
@@ -360,12 +360,12 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 			ci.BankIdeal = p.opnIdeal(coreIdx, bank)
 			ci.BankArrive = arr
 		}
-		p.chip.scheduleEv(arr, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
+		p.scheduleEv(arr, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
 
 	case in.Op == isa.OpStore:
 		addr := st.left.val + uint64(in.Imm)
 		if addr%uint64(in.MemSize) != 0 {
-			p.chip.fail("proc %d block %s inst %d: misaligned %d-byte store at %#x",
+			p.fail("proc %d block %s inst %d: misaligned %d-byte store at %#x",
 				p.id, b.blk.Name, idx, in.MemSize, addr)
 			return
 		}
@@ -381,7 +381,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 			ci.BankIdeal = p.opnIdeal(coreIdx, bank)
 			ci.BankArrive = arr
 		}
-		p.chip.scheduleEv(arr, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
+		p.scheduleEv(arr, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
 
 	case in.Op == isa.OpNull:
 		done := issueAt + 1
@@ -394,7 +394,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 					s.Kind, s.Src = critpath.SrcInst, int32(idx)
 				}
 			}
-			p.chip.scheduleEv(done, event{kind: evNullSlot, b: b, gen: b.gen, idx: int32(in.NullLSID)})
+			p.scheduleEv(done, event{kind: evNullSlot, b: b, gen: b.gen, idx: int32(in.NullLSID)})
 		}
 		for _, tg := range in.Targets {
 			p.scheduleDeadToken(b, tg, coreIdx, done)
@@ -408,7 +408,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 		case isa.OpBro, isa.OpCallo:
 			tgt, ok := p.prog.BranchTarget(in)
 			if !ok {
-				p.chip.fail("proc %d: unresolved branch target %q", p.id, in.BranchTo)
+				p.fail("proc %d: unresolved branch target %q", p.id, in.BranchTo)
 				return
 			}
 			target = tgt
@@ -421,7 +421,7 @@ func (p *Proc) executeInst(b *IFB, idx int, issueAt uint64) {
 			// first arrival and ignores a later predicated twin.
 			b.cp.Branch = critpath.SlotOut{Kind: critpath.SrcInst, Src: int32(idx), ResolvedAt: done, Valid: true}
 		}
-		p.chip.scheduleEv(arr, event{kind: evBranch, b: b, gen: b.gen, idx: int32(in.Op), from: in.Exit, val: target})
+		p.scheduleEv(arr, event{kind: evBranch, b: b, gen: b.gen, idx: int32(in.Op), from: in.Exit, val: target})
 
 	default:
 		val := exec.EvalALU(in, st.left.val, st.right.val)
@@ -468,11 +468,11 @@ func (p *Proc) scheduleDelivery(b *IFB, tg isa.Target, val uint64, fromIdx int, 
 			b.cp.InstAt(int(tg.Index)).Pred = e
 		}
 	}
-	p.chip.scheduleEv(arr, event{kind: evDeliver, b: b, gen: b.gen, tgt: tg, val: val, from: uint8(fromIdx)})
+	p.scheduleEv(arr, event{kind: evDeliver, b: b, gen: b.gen, tgt: tg, val: val, from: uint8(fromIdx)})
 }
 
 func (p *Proc) scheduleDeadToken(b *IFB, tg isa.Target, fromIdx int, t uint64) {
-	p.chip.scheduleEv(t, event{kind: evDeadToken, b: b, gen: b.gen, tgt: tg, from: uint8(fromIdx)})
+	p.scheduleEv(t, event{kind: evDeadToken, b: b, gen: b.gen, tgt: tg, from: uint8(fromIdx)})
 }
 
 // resolveRead finds the architectural or forwarded value of a register

@@ -31,10 +31,18 @@ type Chip struct {
 
 	Procs []*Proc
 
-	// The event queue: the calendar queue by default, the container/heap
-	// reference queue under Options.Reference (see event.go).
-	cal      *calQueue
-	ref      eventQueue
+	// The optimized engine's event domains (domain.go): each owns a
+	// calendar queue and sequence space.  The reference engine keeps the
+	// original single container/heap queue with a global sequence.
+	domains      []*domain
+	nextDomainID int
+	coreDom      [compose.NumCores]*domain // owning domain per physical core
+	pendingProcs []*Proc                   // composed, awaiting quiescent placement
+	curDom       *domain                   // domain whose event is executing
+	par          *parRun                   // non-nil while the worker pool runs
+	deferSeq     uint64                    // global deferred-invalidation sequence
+
+	ref      eventQueue // reference queue (Options.Reference)
 	eventSeq uint64
 	now      uint64
 	err      error
@@ -76,8 +84,6 @@ func New(opts Options) *Chip {
 	// composing k of the 32 cores pays setup for k, not 32.
 	if opts.Reference {
 		heap.Init(&c.ref)
-	} else {
-		c.cal = &calQueue{}
 	}
 	return c
 }
@@ -91,19 +97,20 @@ func (c *Chip) schedule(at uint64, fn func()) {
 }
 
 // scheduleEv enqueues a typed event, stamping time (clamped to now) and
-// the deterministic insertion sequence.
+// the deterministic insertion sequence.  Optimized-mode events are filed
+// in the executing domain; Proc.scheduleEv routes there directly.
 func (c *Chip) scheduleEv(at uint64, e event) {
+	if c.curDom != nil {
+		c.curDom.scheduleEv(at, e)
+		return
+	}
 	if at < c.now {
 		at = c.now
 	}
 	c.eventSeq++
 	e.at = at
 	e.seq = c.eventSeq
-	if c.cal != nil {
-		c.cal.push(e)
-	} else {
-		c.ref.push(e)
-	}
+	c.ref.push(e)
 }
 
 func (c *Chip) fail(format string, args ...any) {
@@ -136,8 +143,19 @@ func (c *Chip) issueAt(core int) *issueRing {
 	return r
 }
 
-// InvalidateL1 implements mem.L1Directory.
+// InvalidateL1 implements mem.L1Directory.  An invalidation crossing
+// domain boundaries (only the L2 eviction path does: address-space
+// tagging keeps all same-line traffic intra-domain) is deferred into the
+// target domain's inbox and applied at the next window boundary — in
+// every optimized mode, so ParallelDomains never changes results.  The
+// found/dirty feedback is reported as a miss, exactly what the eviction
+// path does with it (mem/l2.go fill discards both).
 func (c *Chip) InvalidateL1(core int, addr uint64) (found, dirty bool) {
+	if tgt := c.coreDom[core]; tgt != nil && tgt != c.curDom {
+		c.deferSeq++
+		tgt.inbox = append(tgt.inbox, inval{seq: c.deferSeq, core: core, addr: addr})
+		return false, false
+	}
 	if c.l1d[core] == nil {
 		return false, false
 	}
@@ -191,8 +209,22 @@ func (c *Chip) AddProc(cores compose.Processor, program *prog.Program) (*Proc, e
 	pr := newProc(c, len(c.Procs), cores.Cores, program, exec.NewPageMem())
 	c.Procs = append(c.Procs, pr)
 	c.attachProcTelemetry(pr)
-	pr.start()
+	c.launch(pr)
 	return pr, nil
+}
+
+// launch readies a composed processor.  Under Reference it starts
+// fetching immediately in the global queue; the optimized engine defers
+// it to the next quiescent point (Run entry, or the next window boundary
+// when composed mid-run by an OnProcHalt scheduler), where domains are
+// re-formed around its footprint.
+func (c *Chip) launch(pr *Proc) {
+	pr.prepareStart()
+	if c.Opts.Reference {
+		pr.maybeFetch()
+		return
+	}
+	c.pendingProcs = append(c.pendingProcs, pr)
 }
 
 // AddProcShared composes a logical processor that shares the architectural
@@ -207,37 +239,34 @@ func (c *Chip) AddProcShared(cores compose.Processor, program *prog.Program, fro
 	pr.Regs = from.Regs
 	c.Procs = append(c.Procs, pr)
 	c.attachProcTelemetry(pr)
-	pr.start()
+	c.launch(pr)
 	return pr, nil
 }
 
 // Run executes events until every processor halts, the cycle limit is
-// exceeded, or the model faults.
+// exceeded, or the model faults.  The optimized engine runs the
+// partitioned domain loop (domain.go); Options.Reference runs the
+// original single-queue loop below.
 func (c *Chip) Run(maxCycles uint64) error {
+	if !c.Opts.Reference {
+		return c.runOptimized(maxCycles)
+	}
 	for {
 		if c.err != nil {
 			return c.err
 		}
-		var e event
-		if c.cal != nil {
-			if c.cal.empty() {
-				break
-			}
-			e = c.cal.popMin()
-		} else {
-			if c.ref.empty() {
-				break
-			}
-			e = c.ref.popMin()
+		if c.ref.empty() {
+			break
 		}
+		e := c.ref.popMin()
 		if e.at > maxCycles {
-			return fmt.Errorf("sim: exceeded %d cycles (running: %s)", maxCycles, c.runningProcs())
+			return c.exceededErr(maxCycles)
 		}
 		c.now = e.at
 		if c.now >= c.sampleAt {
 			c.takeSamples()
 		}
-		c.dispatch(&e)
+		c.dispatch(&e, c.now)
 	}
 	if c.err != nil {
 		return c.err
@@ -253,10 +282,13 @@ func (c *Chip) Run(maxCycles uint64) error {
 	return nil
 }
 
-// dispatch executes one event.  Events carrying a block reference are
-// dropped when the block's generation moved on — the block committed or
-// was flushed (and possibly recycled) after the event was scheduled.
-func (c *Chip) dispatch(e *event) {
+// dispatch executes one event at cycle now (the event's own time —
+// passed explicitly because during parallel windows the chip-wide clock
+// is stale and each domain carries its own).  Events carrying a block
+// reference are dropped when the block's generation moved on — the block
+// committed or was flushed (and possibly recycled) after the event was
+// scheduled.
+func (c *Chip) dispatch(e *event, now uint64) {
 	if e.b != nil && e.b.gen != e.gen {
 		return
 	}
@@ -275,24 +307,24 @@ func (c *Chip) dispatch(e *event) {
 		if b.dead {
 			return
 		}
-		b.p.resolveRead(b, int(e.idx), c.now)
+		b.p.resolveRead(b, int(e.idx), now)
 	case evDeliver:
-		e.b.p.deliver(e.b, e.tgt, e.val, false, int(e.from), c.now)
+		e.b.p.deliver(e.b, e.tgt, e.val, false, int(e.from), now)
 	case evDeadToken:
-		e.b.p.deliver(e.b, e.tgt, 0, true, int(e.from), c.now)
+		e.b.p.deliver(e.b, e.tgt, 0, true, int(e.from), now)
 	case evLoadBank:
-		e.b.p.loadAtBank(e.b, int(e.idx), e.addr, c.now)
+		e.b.p.loadAtBank(e.b, int(e.idx), e.addr, now)
 	case evStoreBank:
-		e.b.p.storeAtBank(e.b, int(e.idx), e.addr, e.val, c.now)
+		e.b.p.storeAtBank(e.b, int(e.idx), e.addr, e.val, now)
 	case evNullSlot:
 		b := e.b
 		if b.dead {
 			return
 		}
-		b.p.resolveStoreSlot(b, int8(e.idx), c.now, false)
+		b.p.resolveStoreSlot(b, int8(e.idx), now, false)
 	case evBranch:
 		out := exec.BranchOut{Op: isa.Opcode(e.idx), Exit: e.from, Target: e.val}
-		e.b.p.branchResolved(e.b, out, c.now)
+		e.b.p.branchResolved(e.b, out, now)
 	case evDealloc:
 		b := e.b
 		b.deallocDone = true

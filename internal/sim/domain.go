@@ -1,0 +1,540 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/noc"
+)
+
+// Event domains: the partitioned cycle engine.
+//
+// The optimized engine splits the chip's work into *domains*, each
+// owning a bucketed calendar queue, a private (cycle, insertion-seq)
+// sequence space, per-domain NoC ports and a deferred-coherence inbox.
+// A domain is the unit of concurrency: all state a domain's events touch
+// — its processors' windows, LSQ banks, L1s, issue rings and the mesh
+// links inside its routing closure — is reachable from no other domain,
+// so domains advance independently inside lockstep windows of W cycles
+// ([kW, (k+1)W), W = Options.DomainWindow) and synchronize at every
+// boundary.  The only state domains share is the L2/DRAM side; every
+// access to it is serialized in the global merged event order (at,
+// domainID, seq) — inline when domains run on one goroutine, through
+// the window arbiter (parallel.go) when they run on many — so results
+// are bit-identical for every ParallelDomains setting and GOMAXPROCS.
+//
+// Domain formation.  Processors are grouped by the closure of two
+// relations: sharing an architectural memory (AddProcShared — directory
+// traffic on shared lines must stay inside one domain) and overlapping
+// routing bounding boxes (XY routes never leave the bounding box of
+// their endpoints, so disjoint boxes touch disjoint mesh links).  The
+// grouping runs only at quiescent points — Run entry and window
+// boundaries — and processors composed mid-run begin fetching at the
+// boundary that places them, modeling a (≤ W cycle) recomposition
+// latency.  Domains whose boxes an arriving processor bridges are
+// merged at the same quiescent point.
+//
+// Cross-domain coherence.  Address-space tagging (physAddr) makes every
+// same-line directory operation intra-domain; the single cross-domain
+// channel is the L2 eviction path invalidating a victim's L1 line in
+// another domain.  Those invalidations are deferred into the target
+// domain's inbox and applied at the next window boundary — an
+// invalidate message spending up to W cycles crossing the chip.  The
+// deferral is identical in every mode, so it never breaks mode parity.
+
+// domain is one event partition.
+type domain struct {
+	id   int
+	chip *Chip
+
+	cal calQueue
+	seq uint64
+	now uint64
+
+	procs []*Proc
+	mems  []*exec.PageMem // identity set for memory-sharing grouping
+
+	// Routing-closure bounding box, inclusive; x0 == -1 when empty.
+	x0, y0, x1, y1 int
+
+	// Per-domain mesh ports.  They point at the mesh's own statistics
+	// when domains share one goroutine and at the shadow structs below
+	// during parallel runs (drained at each boundary).
+	opn, ctl           *noc.Port
+	opnStats, ctlStats noc.Stats
+
+	// inbox holds deferred cross-domain L1 invalidations in global
+	// defer-sequence order (appends happen in arbiter order).
+	inbox []inval
+
+	err   error
+	errAt uint64
+
+	// Parallel-run bookkeeping (owned by parRun under its monitor).
+	gen     uint64
+	granted bool
+	retired bool
+	spawned bool
+}
+
+// inval is one deferred L1 invalidation.
+type inval struct {
+	seq  uint64 // global defer sequence, for deterministic merges
+	core int
+	addr uint64
+}
+
+// scheduleEv enqueues a typed event in this domain, stamping time
+// (clamped to the domain's now) and the domain-local insertion sequence.
+func (d *domain) scheduleEv(at uint64, e event) {
+	if at < d.now {
+		at = d.now
+	}
+	d.seq++
+	e.at = at
+	e.seq = d.seq
+	d.cal.push(e)
+}
+
+// fail records the domain's first model fault; the engine stops at the
+// next synchronization point and reports the globally first fault.
+func (d *domain) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("sim: "+format, args...)
+		d.errAt = d.now
+	}
+}
+
+// runWindow executes this domain's events with at < limit, in (at, seq)
+// order.  It is the per-worker body of a parallel window and never
+// touches another domain's state; shared-resource accesses inside
+// dispatched events park on the window arbiter.
+func (d *domain) runWindow(limit uint64) {
+	c := d.chip
+	for d.err == nil {
+		at, ok := d.cal.nextAt()
+		if !ok || at >= limit {
+			return
+		}
+		e := d.cal.popMin()
+		d.now = e.at
+		c.dispatch(&e, e.at)
+	}
+}
+
+// emptyBox is the bounding-box sentinel for a domain with no cores.
+func (d *domain) boxEmpty() bool { return d.x0 < 0 }
+
+func (d *domain) growBox(x0, y0, x1, y1 int) {
+	if d.boxEmpty() {
+		d.x0, d.y0, d.x1, d.y1 = x0, y0, x1, y1
+		return
+	}
+	if x0 < d.x0 {
+		d.x0 = x0
+	}
+	if y0 < d.y0 {
+		d.y0 = y0
+	}
+	if x1 > d.x1 {
+		d.x1 = x1
+	}
+	if y1 > d.y1 {
+		d.y1 = y1
+	}
+}
+
+func (d *domain) overlapsBox(x0, y0, x1, y1 int) bool {
+	if d.boxEmpty() {
+		return false
+	}
+	return x0 <= d.x1 && d.x0 <= x1 && y0 <= d.y1 && d.y0 <= y1
+}
+
+func (d *domain) ownsMem(m *exec.PageMem) bool {
+	for _, mm := range d.mems {
+		if mm == m {
+			return true
+		}
+	}
+	return false
+}
+
+// applyInbox applies deferred cross-domain invalidations.  Runs only at
+// window boundaries with every domain quiescent.  The dirty bit and
+// distance feedback are discarded exactly as the immediate eviction
+// path discards them (mem/l2.go fill), so deferral shifts only the
+// victim's hit/miss timing by at most W cycles.
+func (d *domain) applyInbox() {
+	c := d.chip
+	for i := range d.inbox {
+		msg := &d.inbox[i]
+		if cache := c.l1d[msg.core]; cache != nil {
+			if found, _ := cache.Invalidate(msg.addr); found {
+				c.L2.Stats.Invals++
+			}
+		}
+	}
+	d.inbox = d.inbox[:0]
+}
+
+// bboxOfCores returns the inclusive mesh bounding box of a core set.
+func (c *Chip) bboxOfCores(cores []int) (x0, y0, x1, y1 int) {
+	x0, y0 = c.Opn.XY(cores[0])
+	x1, y1 = x0, y0
+	for _, core := range cores[1:] {
+		x, y := c.Opn.XY(core)
+		if x < x0 {
+			x0 = x
+		}
+		if y < y0 {
+			y0 = y
+		}
+		if x > x1 {
+			x1 = x
+		}
+		if y > y1 {
+			y1 = y
+		}
+	}
+	return
+}
+
+// newDomain appends a fresh, empty domain.
+func (c *Chip) newDomain() *domain {
+	d := &domain{id: c.nextDomainID, chip: c, x0: -1}
+	c.nextDomainID++
+	d.opn = c.Opn.NewPort(nil)
+	d.ctl = c.Ctl.NewPort(nil)
+	c.domains = append(c.domains, d)
+	return d
+}
+
+// placePending assigns every processor composed since the last quiescent
+// point to a domain (forming, joining or merging domains as its
+// footprint requires) and schedules its first fetch no earlier than
+// startAt.  Must run at a quiescent point.
+func (c *Chip) placePending(startAt uint64) {
+	for len(c.pendingProcs) > 0 {
+		p := c.pendingProcs[0]
+		c.pendingProcs = c.pendingProcs[1:]
+		c.placeProc(p, startAt)
+	}
+}
+
+func (c *Chip) placeProc(p *Proc, startAt uint64) {
+	x0, y0, x1, y1 := c.bboxOfCores(p.cores)
+	var matches []*domain
+	for _, d := range c.domains {
+		if d.overlapsBox(x0, y0, x1, y1) || d.ownsMem(p.Mem) {
+			matches = append(matches, d)
+		}
+	}
+	var into *domain
+	if len(matches) == 0 {
+		into = c.newDomain()
+	} else {
+		into = matches[0]
+		for _, d := range matches[1:] {
+			c.mergeDomains(into, d)
+		}
+	}
+	into.adopt(p, x0, y0, x1, y1, startAt)
+}
+
+// adopt attaches a processor to the domain and seeds its fetch engine.
+func (d *domain) adopt(p *Proc, x0, y0, x1, y1 int, startAt uint64) {
+	p.dom = d
+	d.procs = append(d.procs, p)
+	if !d.ownsMem(p.Mem) {
+		d.mems = append(d.mems, p.Mem)
+	}
+	d.growBox(x0, y0, x1, y1)
+	for _, core := range p.cores {
+		d.chip.coreDom[core] = d
+	}
+	if p.fetch.readyAt < startAt {
+		p.fetch.readyAt = startAt
+	}
+	p.maybeFetch()
+}
+
+// mergeDomains folds b into a (a.id < b.id, both quiescent): b's queued
+// events re-file into a's sequence space in (at, seq) order, clamped to
+// the merged now — the deterministic definition of a bridge merge, the
+// same in every mode.
+func (c *Chip) mergeDomains(a, b *domain) {
+	if b.now > a.now {
+		a.now = b.now
+	}
+	for !b.cal.empty() {
+		e := b.cal.popMin()
+		a.scheduleEv(e.at, e)
+	}
+	for _, p := range b.procs {
+		p.dom = a
+		a.procs = append(a.procs, p)
+	}
+	for _, m := range b.mems {
+		if !a.ownsMem(m) {
+			a.mems = append(a.mems, m)
+		}
+	}
+	if !b.boxEmpty() {
+		a.growBox(b.x0, b.y0, b.x1, b.y1)
+	}
+	// Merge the inboxes by global defer sequence (each is ascending).
+	if len(b.inbox) > 0 {
+		merged := make([]inval, 0, len(a.inbox)+len(b.inbox))
+		i, j := 0, 0
+		for i < len(a.inbox) && j < len(b.inbox) {
+			if a.inbox[i].seq < b.inbox[j].seq {
+				merged = append(merged, a.inbox[i])
+				i++
+			} else {
+				merged = append(merged, b.inbox[j])
+				j++
+			}
+		}
+		merged = append(merged, a.inbox[i:]...)
+		merged = append(merged, b.inbox[j:]...)
+		a.inbox = merged
+	}
+	if b.err != nil && a.err == nil {
+		a.err, a.errAt = b.err, b.errAt
+	}
+	// Shadow statistics drain straight to the meshes (sums commute).
+	c.Opn.FoldStats(&b.opnStats)
+	c.Ctl.FoldStats(&b.ctlStats)
+	for i := range c.coreDom {
+		if c.coreDom[i] == b {
+			c.coreDom[i] = a
+		}
+	}
+	b.retired = true
+	for i, d := range c.domains {
+		if d == b {
+			c.domains = append(c.domains[:i], c.domains[i+1:]...)
+			break
+		}
+	}
+}
+
+// minNextAt returns the earliest pending event cycle across domains.
+func (c *Chip) minNextAt() (uint64, bool) {
+	var m uint64
+	ok := false
+	for _, d := range c.domains {
+		if at, k := d.cal.nextAt(); k && (!ok || at < m) {
+			m, ok = at, true
+		}
+	}
+	return m, ok
+}
+
+// collectErrors promotes the globally first domain fault (min errAt,
+// domain order breaking ties) to the chip.
+func (c *Chip) collectErrors() {
+	if c.err != nil {
+		return
+	}
+	var best *domain
+	for _, d := range c.domains {
+		if d.err != nil && (best == nil || d.errAt < best.errAt) {
+			best = d
+		}
+	}
+	if best != nil {
+		c.err = best.err
+	}
+}
+
+// syncNow advances the chip clock to the furthest domain.
+func (c *Chip) syncNow() {
+	for _, d := range c.domains {
+		if d.now > c.now {
+			c.now = d.now
+		}
+	}
+}
+
+// drainShadows folds every domain's shadow NoC statistics into the
+// meshes, in domain order.  A no-op for direct-bound ports (the shadow
+// structs stay zero).
+func (c *Chip) drainShadows() {
+	for _, d := range c.domains {
+		c.Opn.FoldStats(&d.opnStats)
+		c.Ctl.FoldStats(&d.ctlStats)
+	}
+}
+
+// windowBoundary runs the between-window work with every domain
+// quiescent: deferred invalidations apply in domain order, shadow NoC
+// statistics drain, and processors composed during the window are
+// placed and begin fetching at the boundary cycle.  Identical in merged
+// and parallel modes — mode parity depends on it.
+func (c *Chip) windowBoundary(boundaryCycle uint64) {
+	for _, d := range c.domains {
+		d.applyInbox()
+	}
+	c.drainShadows()
+	if len(c.pendingProcs) > 0 {
+		c.placePending(boundaryCycle)
+	}
+}
+
+// windowLimitFor returns the exclusive event-time limit of the window
+// containing cycle m: the next multiple of W above m, capped so no
+// event beyond maxCycles ever executes (keeping the exceeded-cycles
+// state identical across modes).
+func (c *Chip) windowLimitFor(m, maxCycles uint64) uint64 {
+	w := c.Opts.domainWindow()
+	limit := (m/w + 1) * w
+	if maxCycles != ^uint64(0) && limit > maxCycles+1 {
+		limit = maxCycles + 1
+	}
+	return limit
+}
+
+func (c *Chip) exceededErr(maxCycles uint64) error {
+	return fmt.Errorf("sim: exceeded %d cycles (running: %s)", maxCycles, c.runningProcs())
+}
+
+// takeBoundarySamples records sampler rows due at or before the next
+// event cycle m.  Multi-domain sampling is boundary-granular: a row at
+// cycle s reflects every event before the boundary that emitted it.
+func (c *Chip) takeBoundarySamples(m uint64) {
+	if c.sampler == nil {
+		return
+	}
+	iv := c.sampler.Interval()
+	for c.sampleAt <= m {
+		c.sampler.Sample(c.sampleAt)
+		c.sampleAt += iv
+	}
+}
+
+// runSingle is the single-domain fast path: the exact serial event loop
+// (per-event sampling and cycle-limit checks), byte-identical to the
+// pre-partitioning engine and to Options.Reference.  Returns when the
+// queue drains, a fault lands, or a composition event requires
+// re-forming domains.
+func (c *Chip) runSingle(d *domain, maxCycles uint64) {
+	c.curDom = d
+	for c.err == nil && d.err == nil {
+		if d.cal.empty() {
+			break
+		}
+		e := d.cal.popMin()
+		if e.at > maxCycles {
+			c.err = c.exceededErr(maxCycles)
+			break
+		}
+		c.now = e.at
+		d.now = e.at
+		if c.now >= c.sampleAt {
+			c.takeSamples()
+		}
+		c.dispatch(&e, e.at)
+		if len(c.pendingProcs) > 0 {
+			break
+		}
+	}
+	if c.err == nil && d.err != nil {
+		c.err = d.err
+	}
+	c.curDom = nil
+}
+
+// runMerged advances every domain on the caller's goroutine in merged
+// (at, domainID, seq) order, window by window.  This is ParallelDomains
+// <= 1: the same partitioned engine minus the worker pool, and the
+// ordering contract the parallel arbiter reproduces.
+func (c *Chip) runMerged(maxCycles uint64) {
+	for {
+		c.collectErrors()
+		if c.err != nil {
+			return
+		}
+		m, ok := c.minNextAt()
+		if !ok {
+			c.syncNow()
+			c.takeBoundarySamples(c.now)
+			return
+		}
+		c.takeBoundarySamples(m)
+		if m > maxCycles {
+			c.syncNow()
+			c.err = c.exceededErr(maxCycles)
+			return
+		}
+		limit := c.windowLimitFor(m, maxCycles)
+		for c.err == nil {
+			var best *domain
+			var bat uint64
+			for _, d := range c.domains {
+				if d.err != nil {
+					best = nil
+					break
+				}
+				if at, ok := d.cal.nextAt(); ok && at < limit && (best == nil || at < bat) {
+					best, bat = d, at
+				}
+			}
+			if best == nil {
+				break
+			}
+			e := best.cal.popMin()
+			best.now = e.at
+			c.now = e.at
+			c.curDom = best
+			c.dispatch(&e, e.at)
+		}
+		c.curDom = nil
+		c.collectErrors()
+		if c.err != nil {
+			return
+		}
+		c.windowBoundary(limit)
+	}
+}
+
+// runOptimized is the domain-engine driver: it forms domains from the
+// composed processors, picks the execution mode (single-domain fast
+// path, merged serial windows, or the parallel worker pool) and runs to
+// completion, re-evaluating the mode whenever the composition changes.
+func (c *Chip) runOptimized(maxCycles uint64) error {
+	c.placePending(c.now)
+	for c.err == nil {
+		if len(c.pendingProcs) > 0 {
+			c.placePending(c.now)
+			continue
+		}
+		if len(c.domains) == 1 {
+			c.runSingle(c.domains[0], maxCycles)
+			if c.err == nil && len(c.pendingProcs) > 0 {
+				continue
+			}
+			break
+		}
+		if c.Opts.ParallelDomains > 1 && len(c.domains) > 1 {
+			c.runParallel(maxCycles)
+		} else {
+			c.runMerged(maxCycles)
+		}
+		break
+	}
+	c.syncNow()
+	if c.err != nil {
+		return c.err
+	}
+	for _, p := range c.Procs {
+		if !p.halted {
+			return fmt.Errorf("sim: deadlock: processor %d stalled at cycle %d (%s)", p.id, c.now, p.describeStall())
+		}
+	}
+	if c.critEnabled {
+		c.releaseCritRecords()
+	}
+	return nil
+}

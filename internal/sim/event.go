@@ -102,9 +102,14 @@ type calQueue struct {
 
 func (q *calQueue) empty() bool { return q.nbucket == 0 && len(q.overflow) == 0 }
 
-// push files an event.  The caller guarantees e.at >= q.base (the chip
-// clamps schedule times to now, and base never passes now).
+// push files an event.  Schedule times are clamped to the domain's now,
+// which the cursor normally never passes; the one exception is a cursor
+// that jumped ahead over an idle gap (nextAt) before new work arrived
+// from a window boundary, which rewinds first.
 func (q *calQueue) push(e event) {
+	if e.at < q.base {
+		q.rewind(e.at)
+	}
 	if e.at < q.base+calBuckets {
 		i := e.at & calMask
 		bkt := q.buckets[i]
@@ -156,6 +161,65 @@ func (q *calQueue) popMin() event {
 		} else {
 			q.base++
 		}
+	}
+}
+
+// nextAt returns the cycle of the earliest pending event without
+// removing it; ok is false when the queue is empty.  The scan advances
+// the cursor over empty ground (pure bookkeeping — ordering is
+// unaffected), so a subsequent popMin finds the event immediately and
+// repeated peeks never rescan the same gap.
+func (q *calQueue) nextAt() (at uint64, ok bool) {
+	if q.nbucket == 0 && len(q.overflow) == 0 {
+		return 0, false
+	}
+	for {
+		// Pull due overflow events into the calendar window.
+		for len(q.overflow) > 0 && q.overflow[0].at < q.base+calBuckets {
+			e := q.overflow.pop()
+			i := e.at & calMask
+			bkt := q.buckets[i]
+			if cap(bkt) == 0 {
+				bkt = make([]event, 0, calBucketCap)
+			}
+			q.buckets[i] = append(bkt, e)
+			q.nbucket++
+		}
+		i := q.base & calMask
+		if int(q.heads[i]) < len(q.buckets[i]) {
+			// A bucket holds events for exactly one cycle (the window is
+			// calBuckets wide), so every resident event sits at q.base.
+			return q.base, true
+		}
+		q.buckets[i] = q.buckets[i][:0]
+		q.heads[i] = 0
+		if q.nbucket == 0 && len(q.overflow) > 0 {
+			q.base = q.overflow[0].at // jump over the idle gap
+		} else {
+			q.base++
+		}
+	}
+}
+
+// rewind moves the cursor back to cycle `to` after an idle-gap jump
+// outpaced a new arrival (a processor composed at a window boundary
+// scheduling into a domain whose cursor already jumped ahead).  Resident
+// events whose cycles no longer fit the rewound window are re-filed, so
+// no two cycles ever share a bucket.  Rare and cold: it can only happen
+// once per composition event.
+func (q *calQueue) rewind(to uint64) {
+	var resident []event
+	for i := range q.buckets {
+		for j := int(q.heads[i]); j < len(q.buckets[i]); j++ {
+			resident = append(resident, q.buckets[i][j])
+		}
+		q.buckets[i] = q.buckets[i][:0]
+		q.heads[i] = 0
+	}
+	q.nbucket = 0
+	q.base = to
+	for _, e := range resident {
+		q.push(e) // e.at >= the old base > to, so no recursive rewind
 	}
 }
 

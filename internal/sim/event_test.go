@@ -1,0 +1,102 @@
+package sim
+
+import "testing"
+
+// drainCal pops every event and returns the (at, seq) sequence.
+func drainCal(t *testing.T, q *calQueue) [][2]uint64 {
+	t.Helper()
+	var got [][2]uint64
+	for !q.empty() {
+		e := q.popMin()
+		got = append(got, [2]uint64{e.at, e.seq})
+	}
+	return got
+}
+
+func expectOrder(t *testing.T, got, want [][2]uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d: got %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = (at %d, seq %d), want (at %d, seq %d)",
+				i, got[i][0], got[i][1], want[i][0], want[i][1])
+		}
+	}
+}
+
+// TestCalQueueBucketWraparound schedules at now + calBuckets ± 1, the
+// exact boundary where an event either shares the calendar window with
+// the cursor (and its bucket index wraps below the cursor's) or must
+// wait in the overflow heap.  An off-by-one in either direction would
+// file two cycles into one bucket and interleave their events.
+func TestCalQueueBucketWraparound(t *testing.T) {
+	var q calQueue
+	// Move the cursor off zero so in-window indices actually wrap.
+	q.push(event{at: 5, seq: 1})
+	if e := q.popMin(); e.at != 5 || e.seq != 1 {
+		t.Fatalf("warm-up pop = (at %d, seq %d), want (5, 1)", e.at, e.seq)
+	}
+	now := uint64(5) // q.base after the pop
+
+	atIn := now + calBuckets - 1 // last in-window cycle; index wraps to 4
+	atEdge := now + calBuckets   // first cycle that must overflow
+	atPast := now + calBuckets + 1
+	q.push(event{at: atEdge, seq: 2})
+	q.push(event{at: atPast, seq: 3})
+	q.push(event{at: atIn, seq: 4})
+	if len(q.overflow) != 2 {
+		t.Fatalf("overflow holds %d events, want 2 (at now+calBuckets and beyond)", len(q.overflow))
+	}
+	if q.nbucket != 1 {
+		t.Fatalf("buckets hold %d events, want 1 (at now+calBuckets-1)", q.nbucket)
+	}
+	// nextAt jumps the idle gap without disturbing order.
+	if at, ok := q.nextAt(); !ok || at != atIn {
+		t.Fatalf("nextAt = (%d, %t), want (%d, true)", at, ok, atIn)
+	}
+	expectOrder(t, drainCal(t, &q), [][2]uint64{{atIn, 4}, {atEdge, 2}, {atPast, 3}})
+}
+
+// TestCalQueueOverflowMigrationKeepsSeqOrder pins the ordering argument
+// in popMin's doc comment: overflow events for a cycle T migrate into
+// T's bucket before any event that could push more work for T executes,
+// so a bucket's append order is seq order even when its events arrive
+// via both paths.
+func TestCalQueueOverflowMigrationKeepsSeqOrder(t *testing.T) {
+	var q calQueue
+	far := uint64(calBuckets + 500) // out of window from base 0
+	q.push(event{at: far, seq: 1})  // overflow
+	q.push(event{at: 500, seq: 2})  // bucket
+	if e := q.popMin(); e.at != 500 || e.seq != 2 {
+		t.Fatalf("first pop = (at %d, seq %d), want (500, 2)", e.at, e.seq)
+	}
+	// The cursor passed far-calBuckets during that pop, so seq 1 has
+	// already migrated; a fresh push for the same cycle must land after
+	// it despite going straight to the bucket.
+	q.push(event{at: far, seq: 3})
+	expectOrder(t, drainCal(t, &q), [][2]uint64{{far, 1}, {far, 3}})
+}
+
+// TestCalQueueRewindAfterIdleJump covers the one legal way a push can
+// land behind the cursor: nextAt jumped an idle gap to a far-future
+// cycle, then a window boundary composed a processor that schedules
+// earlier.  The push must rewind the cursor and re-file resident events
+// so no two cycles share a bucket.
+func TestCalQueueRewindAfterIdleJump(t *testing.T) {
+	var q calQueue
+	far := uint64(3 * calBuckets)
+	q.push(event{at: far, seq: 1})
+	if at, ok := q.nextAt(); !ok || at != far {
+		t.Fatalf("nextAt = (%d, %t), want (%d, true)", at, ok, far)
+	}
+	if q.base != far {
+		t.Fatalf("cursor at %d after idle-gap peek, want %d", q.base, far)
+	}
+	q.push(event{at: 100, seq: 2}) // behind the cursor: rewinds
+	if q.base > 100 {
+		t.Fatalf("cursor at %d after rewind, want <= 100", q.base)
+	}
+	expectOrder(t, drainCal(t, &q), [][2]uint64{{100, 2}, {far, 1}})
+}

@@ -83,7 +83,7 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 		p.Stats.LSQNACKs++
 		p.relieveLSQPressure(b, t)
 		retry := t + p.chip.Opts.NACKRetryCycles
-		p.chip.scheduleEv(retry, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
+		p.scheduleEv(retry, event{kind: evLoadBank, b: b, gen: b.gen, idx: int32(idx), addr: addr})
 		return
 	}
 
@@ -110,11 +110,13 @@ func (p *Proc) loadAtBank(b *IFB, idx int, addr uint64, t uint64) {
 			}
 		} else {
 			accessDone = svc + uint64(p.chip.Opts.Params.L1DHitCycles)
+			p.enterShared()
 			fill := p.chip.L2.Read(physCore, pa, accessDone)
 			victim, evicted := cache.Fill(pa, fill)
 			if evicted {
 				p.writeBackVictim(physCore, victim)
 			}
+			p.exitShared()
 			dataAt = fill
 		}
 	}
@@ -148,7 +150,7 @@ func (p *Proc) storeAtBank(b *IFB, idx int, addr uint64, val uint64, t uint64) {
 		p.Stats.LSQNACKs++
 		p.relieveLSQPressure(b, t)
 		retry := t + p.chip.Opts.NACKRetryCycles
-		p.chip.scheduleEv(retry, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
+		p.scheduleEv(retry, event{kind: evStoreBank, b: b, gen: b.gen, idx: int32(idx), addr: addr, val: val})
 		return
 	}
 
@@ -308,7 +310,7 @@ func (p *Proc) retryDeferredLoads() {
 		}
 		in := &d.b.blk.Insts[d.idx]
 		if p.olderStoresResolved(d.b, in.LSID) {
-			p.chip.scheduleEv(p.chip.now, event{kind: evLoadBank, b: d.b, gen: d.gen, idx: int32(d.idx), addr: d.addr})
+			p.scheduleEv(p.nowCycle(), event{kind: evLoadBank, b: d.b, gen: d.gen, idx: int32(d.idx), addr: d.addr})
 		} else {
 			p.deferred = append(p.deferred, d)
 		}

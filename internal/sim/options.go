@@ -46,6 +46,26 @@ type Options struct {
 	// NACKRetryCycles is the backoff before a NACKed LSQ insert retries.
 	NACKRetryCycles uint64
 
+	// ParallelDomains caps how many event domains may execute
+	// concurrently on worker goroutines (see domain.go).  Values <= 1
+	// keep every domain on the caller's goroutine; results are
+	// bit-identical for any value and any GOMAXPROCS, so the knob trades
+	// wall-clock speed only.  It has no effect under Reference or when
+	// the chip forms a single domain.
+	ParallelDomains int
+
+	// DomainWindow is the lockstep window width W in cycles for
+	// multi-domain runs: domains advance independently inside [kW,
+	// (k+1)W) and synchronize at every boundary, where deferred
+	// cross-domain coherence traffic (L2 eviction invalidations) is
+	// applied and newly composed processors begin fetching.  W is a
+	// model parameter — it must be identical across ParallelDomains
+	// settings for runs to compare — and defaults to 16 cycles,
+	// approximating the banked-L2 round trip an invalidate needs to
+	// reach a remote core (L2 hit latency spans 5..27 cycles).
+	// Values < 1 mean the default.
+	DomainWindow uint64
+
 	// Reference disables the engine's hot-path optimizations — the
 	// container/heap event queue replaces the calendar queue, in-flight
 	// blocks are never pooled, and block metadata is re-decoded on every
@@ -60,6 +80,16 @@ func DefaultOptions() Options {
 		Params:          compose.DefaultCoreParams(),
 		NACKRetryCycles: 8,
 	}
+}
+
+// defaultDomainWindow is the default lockstep window width (cycles).
+const defaultDomainWindow = 16
+
+func (o *Options) domainWindow() uint64 {
+	if o.DomainWindow >= 1 {
+		return o.DomainWindow
+	}
+	return defaultDomainWindow
 }
 
 func (o *Options) windowPerCore() int {

@@ -16,6 +16,7 @@ import (
 // Proc is one composed logical processor executing one thread.
 type Proc struct {
 	chip *Chip
+	dom  *domain // owning event domain; nil under Options.Reference
 	id   int
 	asid uint64
 
@@ -183,16 +184,72 @@ func (p *Proc) regBankIdx(reg uint8) int {
 	return p.rbanks[int(reg)%len(p.rbanks)]
 }
 
+// The domain-routing layer: every simulator action a processor takes —
+// reading the clock, scheduling events, reporting faults, sending
+// messages — goes through its owning event domain, so that domains can
+// advance concurrently without sharing queues, clocks or statistics.
+// Under Options.Reference dom is nil and everything falls through to the
+// chip's original single-queue engine.
+
+// nowCycle returns the processor's current simulation cycle.
+func (p *Proc) nowCycle() uint64 {
+	if p.dom != nil {
+		return p.dom.now
+	}
+	return p.chip.now
+}
+
+// scheduleEv enqueues a typed event in the processor's domain.
+func (p *Proc) scheduleEv(at uint64, e event) {
+	if p.dom != nil {
+		p.dom.scheduleEv(at, e)
+		return
+	}
+	p.chip.scheduleEv(at, e)
+}
+
+// fail records a model fault against the processor's domain.
+func (p *Proc) fail(format string, args ...any) {
+	if p.dom != nil {
+		p.dom.fail(format, args...)
+		return
+	}
+	p.chip.fail(format, args...)
+}
+
+// enterShared/exitShared bracket every access to chip-shared state (the
+// L2/DRAM side, and chip composition from OnProcHalt hooks).  During a
+// parallel run they park on the window arbiter, which grants domains in
+// merged (cycle, domain) order at full quiescence; in every serial mode
+// execution is already in that order and they cost two nil checks.
+func (p *Proc) enterShared() {
+	if pr := p.chip.par; pr != nil {
+		pr.enter(p.dom)
+	}
+}
+
+func (p *Proc) exitShared() {
+	if pr := p.chip.par; pr != nil {
+		pr.exit(p.dom)
+	}
+}
+
 // ctlSend routes a control message, honoring the ZeroHandshake ablation.
 func (p *Proc) ctlSend(fromIdx, toIdx int, t uint64) uint64 {
 	if p.chip.Opts.ZeroHandshake {
 		return t
+	}
+	if p.dom != nil {
+		return p.dom.ctl.Send(p.phys(fromIdx), p.phys(toIdx), t)
 	}
 	return p.chip.Ctl.Send(p.phys(fromIdx), p.phys(toIdx), t)
 }
 
 // opnSend routes an operand on the operand network.
 func (p *Proc) opnSend(fromIdx, toIdx int, t uint64) uint64 {
+	if p.dom != nil {
+		return p.dom.opn.Send(p.phys(fromIdx), p.phys(toIdx), t)
+	}
 	return p.chip.Opn.Send(p.phys(fromIdx), p.phys(toIdx), t)
 }
 
@@ -206,20 +263,26 @@ func (p *Proc) ctlMulticastInto(fromIdx int, t uint64, dst []uint64) {
 		}
 		return
 	}
+	if p.dom != nil {
+		p.dom.ctl.MulticastInto(p.phys(fromIdx), p.cores, t, dst)
+		return
+	}
 	p.chip.Ctl.MulticastInto(p.phys(fromIdx), p.cores, t, dst)
 }
 
-func (p *Proc) start() {
+// prepareStart validates the program and primes the fetch engine.  The
+// first fetch is scheduled by Chip.launch (Reference) or by domain
+// placement at the next quiescent point (optimized).
+func (p *Proc) prepareStart() {
 	entry := p.prog.EntryBlock()
 	if entry == nil {
-		p.chip.fail("proc %d: no entry block", p.id)
+		p.fail("proc %d: no entry block", p.id)
 		return
 	}
 	p.fetch.addr = entry.Addr
 	p.fetch.hist = 0
 	p.fetch.readyAt = p.chip.Now()
 	p.fetch.valid = true
-	p.maybeFetch()
 }
 
 // maybeFetch schedules the next block fetch if one is known and a window
@@ -232,14 +295,14 @@ func (p *Proc) maybeFetch() {
 		return // re-invoked on dealloc
 	}
 	p.fetch.scheduled = true
-	p.chip.scheduleEv(p.fetch.readyAt, event{kind: evFetch, proc: p, val: p.fetch.epoch})
+	p.scheduleEv(p.fetch.readyAt, event{kind: evFetch, proc: p, val: p.fetch.epoch})
 }
 
 // fetchBlock runs the distributed fetch pipeline for the block at
 // p.fetch.addr: prediction, hand-off, I-cache tag check, fetch-command
 // distribution and per-core dispatch (paper §4.2, Figure 9a).
 func (p *Proc) fetchBlock() {
-	t0 := p.chip.Now()
+	t0 := p.nowCycle()
 	addr := p.fetch.addr
 	hist := p.fetch.hist
 	blk := p.prog.BlockAt(addr)
@@ -298,7 +361,9 @@ func (p *Proc) fetchBlock() {
 	cmdStart := t0 + constLat
 	if _, hit := p.l1i.Access(p.physAddr(addr), cmdStart); !hit {
 		p.Stats.ICacheMisses++
+		p.enterShared()
 		fill := p.chip.L2.Read(p.phys(owner), p.physAddr(addr), cmdStart)
+		p.exitShared()
 		p.l1i.Fill(p.physAddr(addr), fill)
 		b.icacheStall = fill - cmdStart
 		cmdStart = fill
@@ -336,14 +401,14 @@ func (p *Proc) fetchBlock() {
 		if av > dispatchLast {
 			dispatchLast = av
 		}
-		p.chip.scheduleEv(av, event{kind: evDispatch, b: b, gen: b.gen, idx: id32})
+		p.scheduleEv(av, event{kind: evDispatch, b: b, gen: b.gen, idx: id32})
 	}
 	b.dispatchLat = dispatchLast - bcastLast
 
 	// Register reads are dispatched to their register-bank cores.
 	for ri := range blk.Reads {
 		bank := p.regBankIdx(blk.Reads[ri].Reg)
-		p.chip.scheduleEv(arr[bank]+1, event{kind: evRegRead, b: b, gen: b.gen, idx: int32(ri)})
+		p.scheduleEv(arr[bank]+1, event{kind: evRegRead, b: b, gen: b.gen, idx: int32(ri)})
 	}
 
 	// Blocks with no register writes/stores can complete with just the
@@ -463,7 +528,7 @@ func (p *Proc) outputDone(b *IFB, t uint64, kind critpath.OutKind, idx int32) {
 	}
 	b.outputsPending--
 	if b.outputsPending < 0 {
-		p.chip.fail("proc %d block %s seq %d: too many outputs", p.id, b.blk.Name, b.seq)
+		p.fail("proc %d block %s seq %d: too many outputs", p.id, b.blk.Name, b.seq)
 		return
 	}
 	if b.outputsPending == 0 {
@@ -497,7 +562,7 @@ func (p *Proc) tryCommit() {
 func (p *Proc) startCommit(b *IFB) {
 	b.phase = phaseCommitting
 	start := b.completeAt
-	if now := p.chip.Now(); now > start {
+	if now := p.nowCycle(); now > start {
 		start = now
 	}
 	if p.anyCommitted {
@@ -579,7 +644,7 @@ func (p *Proc) startCommit(b *IFB) {
 	p.Stats.CommitArchSum += drainMax
 	p.Stats.CommitHandshakeSum += (deallocAt - start) - drainMax
 
-	p.chip.scheduleEv(deallocAt, event{kind: evDealloc, b: b, gen: b.gen, val: deallocAt})
+	p.scheduleEv(deallocAt, event{kind: evDealloc, b: b, gen: b.gen, val: deallocAt})
 }
 
 // applyArchState commits a block's register writes and stores.
@@ -609,19 +674,23 @@ func (p *Proc) commitStoreToCache(addr uint64) {
 	physCore := p.phys(bank)
 	cache := p.chip.l1dAt(physCore)
 	pa := p.physAddr(addr)
-	now := p.chip.Now()
+	now := p.nowCycle()
 	if line, hit := cache.Access(pa, now); hit {
 		if !line.Dirty {
+			p.enterShared()
 			p.chip.L2.Upgrade(physCore, pa, now)
+			p.exitShared()
 			line.Dirty = true
 		}
 		return
 	}
+	p.enterShared()
 	fill := p.chip.L2.Upgrade(physCore, pa, now)
 	victim, evicted := cache.Fill(pa, fill)
 	if evicted {
 		p.writeBackVictim(physCore, victim)
 	}
+	p.exitShared()
 	if l := cache.Probe(pa); l != nil {
 		l.Dirty = true
 	}
@@ -695,7 +764,10 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 		p.halted = true
 		p.Stats.Cycles = t
 		if p.chip.onHalt != nil {
+			// The hook composes processors onto the chip — shared state.
+			p.enterShared()
 			p.chip.onHalt(p)
+			p.exitShared()
 		}
 	}
 	p.releaseIFB(b)

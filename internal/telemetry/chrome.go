@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -100,14 +101,29 @@ func (t *Trace) Len() int {
 }
 
 // WriteJSON emits the trace as {"traceEvents":[...]} — the JSON Object
-// Format accepted by chrome://tracing and Perfetto.
+// Format accepted by chrome://tracing and Perfetto.  Events are emitted
+// in (ts, pid, tid, name) order rather than append order: concurrent
+// recorders (runner workers, parallel event domains) interleave their
+// appends nondeterministically, and sorting keeps the file byte-stable
+// across runs of the same simulation.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	t.mu.Lock()
-	events := t.events
+	events := make([]chromeEvent, len(t.events))
+	copy(events, t.events)
 	t.mu.Unlock()
-	if events == nil {
-		events = []chromeEvent{}
-	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`

@@ -233,7 +233,9 @@ func TestChromeTraceFormat(t *testing.T) {
 	if len(doc.TraceEvents) != 5 {
 		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
 	}
-	span := doc.TraceEvents[2]
+	// WriteJSON sorts by (ts, pid, tid, name): metadata first, then the
+	// clamped span at ts 50, then the real span at ts 100.
+	span := doc.TraceEvents[3]
 	if span["ph"] != "X" || span["ts"] != 100.0 || span["dur"] != 40.0 ||
 		span["pid"] != 1.0 || span["tid"] != 3.0 {
 		t.Fatalf("span = %v", span)

@@ -199,6 +199,12 @@ type RunConfig struct {
 	// Options overrides the chip options (nil: DefaultOptions, or
 	// TRIPSOptions when TRIPS is set).
 	Options *Options
+	// ParallelDomains caps how many event domains may simulate
+	// concurrently (Options.ParallelDomains).  Values <= 1 run every
+	// domain on the calling goroutine; results are bit-identical for any
+	// value and any GOMAXPROCS, so the knob trades wall-clock time only.
+	// Overrides the same field in Options when both are set.
+	ParallelDomains int
 	// OnBlock, if set, observes every block retirement (commit or flush).
 	OnBlock func(BlockEvent)
 	// CollectMetrics arms the chip's telemetry registry before the run;
@@ -271,6 +277,9 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 			return nil, err
 		}
 	}
+	if cfg.ParallelDomains != 0 {
+		opts.ParallelDomains = cfg.ParallelDomains
+	}
 	chip := sim.New(opts)
 	var reg *Metrics
 	if cfg.CollectMetrics {
@@ -332,6 +341,69 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 		cfg.Observe.PublishMetrics(chip.Telemetry().Snapshot())
 	}
 	return res, nil
+}
+
+// ProgramSpec is one program of a multiprogrammed run: what to execute
+// and which composed processor to run it on.
+type ProgramSpec struct {
+	Prog *Program
+	// Cores is the composed processor (e.g. one rectangle of a
+	// Partition).  Specs must not overlap.
+	Cores Processor
+	// Init seeds the processor's registers and private memory.
+	Init func(regs *[128]uint64, mem *Memory)
+}
+
+// RunMulti executes several independent programs on one chip, each on
+// its own composed processor, and returns one Result per program in
+// input order.  This is where the event-domain engine multiplies: each
+// processor (plus the architectural memory it shares with nobody)
+// becomes its own event domain, and RunConfig.ParallelDomains > 1 lets
+// up to that many domains simulate concurrently in lockstep windows —
+// with results bit-identical to ParallelDomains=1 at any GOMAXPROCS.
+//
+// Only the chip-wide RunConfig fields apply (MaxCycles, Options,
+// ParallelDomains); the per-program instrumentation fields are for
+// single-program runs and are ignored here.
+func RunMulti(specs []ProgramSpec, cfg RunConfig) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("tflex: RunMulti needs at least one program")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	opts := sim.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	if cfg.ParallelDomains != 0 {
+		opts.ParallelDomains = cfg.ParallelDomains
+	}
+	chip := sim.New(opts)
+	procs := make([]*Proc, len(specs))
+	for i, sp := range specs {
+		pr, err := chip.AddProc(sp.Cores, sp.Prog)
+		if err != nil {
+			return nil, fmt.Errorf("tflex: program %d: %w", i, err)
+		}
+		if sp.Init != nil {
+			sp.Init(&pr.Regs, pr.Mem)
+		}
+		procs[i] = pr
+	}
+	if err := chip.Run(cfg.MaxCycles); err != nil {
+		return nil, fmt.Errorf("tflex: %w", err)
+	}
+	results := make([]*Result, len(specs))
+	for i, pr := range procs {
+		results[i] = &Result{
+			Cycles: pr.Stats.Cycles,
+			Stats:  pr.Stats,
+			Regs:   pr.Regs,
+			Mem:    pr.Mem,
+		}
+	}
+	return results, nil
 }
 
 // Verify runs the program architecturally (no timing) with the same
