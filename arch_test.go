@@ -1,0 +1,41 @@
+package tflex
+
+import "testing"
+
+// TestRunArchDigest pins the public ArchState plumbing: a timed run
+// with ArchDigest reports the unified architectural state, and that
+// state is identical across compositions — the same contract the
+// differential fuzzer enforces on generated programs, here checked on
+// a real kernel through the public API.
+func TestRunArchDigest(t *testing.T) {
+	inst, err := BuildKernel("ct", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cores int) *ArchState {
+		res, err := Run(inst.Prog, RunConfig{Cores: cores, Init: inst.Init, ArchDigest: true})
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		if res.Arch == nil {
+			t.Fatalf("%d cores: ArchDigest set but Result.Arch is nil", cores)
+		}
+		return res.Arch
+	}
+	a1, a4 := run(1), run(4)
+	if d := a1.Diff(*a4); d != "" {
+		t.Errorf("ArchState differs between 1 and 4 cores: %s", d)
+	}
+	if a1.Stores == 0 || a1.StoreDigest == 0 || a1.Blocks == 0 {
+		t.Errorf("degenerate ArchState: %+v", a1)
+	}
+
+	// Disarmed by default.
+	res, err := Run(inst.Prog, RunConfig{Cores: 2, Init: inst.Init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arch != nil {
+		t.Error("Result.Arch non-nil without RunConfig.ArchDigest")
+	}
+}

@@ -30,6 +30,15 @@
 #
 # runs only the static-analysis stage (a few hundred milliseconds): all
 # four tflexlint analyzers over the whole module.
+#
+#   ./ci.sh fuzz [fuzztime]
+#
+# runs the open-ended differential fuzzer: seeded random EDGE programs
+# through every executor behind the arch.Executor contract (functional,
+# conv-trace, optimized + reference timing on 1/2/4 cores), shrinking
+# any divergence to a minimal .tfa reproducer.  Defaults to 30s; pass a
+# Go duration to run longer.  The bounded 200-seed corpus pass runs in
+# the default gate as TestFuzzCorpus.
 set -eu
 cd "$(dirname "$0")"
 
@@ -37,6 +46,13 @@ if [ "${1:-}" = "lint" ]; then
     echo "== tflexlint =="
     go run ./cmd/tflexlint ./...
     echo "lint: clean"
+    exit 0
+fi
+
+if [ "${1:-}" = "fuzz" ]; then
+    fuzztime="${2:-30s}"
+    echo "== differential fuzz (FuzzDifferential, ${fuzztime}) =="
+    go test -run=NONE -fuzz=FuzzDifferential -fuzztime="$fuzztime" ./internal/fuzz
     exit 0
 fi
 

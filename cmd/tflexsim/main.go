@@ -8,6 +8,8 @@
 //	tflexsim -kernel conv -cores 16 -critpath
 //	tflexsim -kernel conv -sweep -jobs 4
 //	tflexsim -kernel conv -cores 8 -procs 4 -par 4
+//	tflexsim -fuzz-seed 42
+//	tflexsim -fuzz-n 1000
 //	tflexsim -list
 //
 // -procs N multiprograms N copies of the kernel onto disjoint
@@ -21,6 +23,12 @@
 // categories that sum exactly to the block's lifetime).  -serve ADDR
 // additionally exposes /metrics, /critpath, /events and /debug/pprof
 // over HTTP while the simulation runs.
+//
+// -fuzz-seed N replays one generated program from the differential
+// fuzzer through every executor (functional, conv-trace, optimized and
+// reference timing on 1/2/4 cores); -fuzz-n N sweeps seeds [0,N).  A
+// divergence is shrunk to a minimal reproducer and dumped as a .tfa
+// file.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 
 	"github.com/clp-sim/tflex"
 	"github.com/clp-sim/tflex/internal/experiments"
+	"github.com/clp-sim/tflex/internal/fuzz"
 	"github.com/clp-sim/tflex/internal/profiling"
 )
 
@@ -57,9 +66,11 @@ func main() {
 	par := flag.Int("par", 0, "cap on concurrently simulated event domains (<=1: serial; results identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	fuzzSeed := flag.Int64("fuzz-seed", -1, "replay this differential-fuzz seed through every executor and report any divergence")
+	fuzzN := flag.Int("fuzz-n", 0, "differentially check seeds [0,N) across every executor")
 	flag.Parse()
 
-	if err := validateFlags(*cores, *scale, *procs, *par, *useTRIPS); err != nil {
+	if err := validateFlags(*cores, *scale, *procs, *par, *fuzzN, *fuzzSeed, *useTRIPS); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -79,6 +90,14 @@ func main() {
 				ilp = "high-ilp"
 			}
 			fmt.Printf("%-12s %-8s %s\n", k.Name, k.Suite, ilp)
+		}
+		return
+	}
+
+	if *fuzzSeed >= 0 || *fuzzN > 0 {
+		if err := runFuzz(*fuzzSeed, *fuzzN); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -211,7 +230,7 @@ func main() {
 // fit the 32-core array, or a negative domain cap would otherwise
 // surface as a mid-run error (or, for -procs with -trips, silently run
 // a single processor).
-func validateFlags(cores, scale, procs, par int, trips bool) error {
+func validateFlags(cores, scale, procs, par, fuzzN int, fuzzSeed int64, trips bool) error {
 	if scale < 1 {
 		return fmt.Errorf("-scale must be >= 1, got %d", scale)
 	}
@@ -220,6 +239,15 @@ func validateFlags(cores, scale, procs, par int, trips bool) error {
 	}
 	if procs < 1 {
 		return fmt.Errorf("-procs must be >= 1, got %d", procs)
+	}
+	if fuzzN < 0 {
+		return fmt.Errorf("-fuzz-n must be >= 0, got %d", fuzzN)
+	}
+	if fuzzSeed >= 0 && fuzzN > 0 {
+		return fmt.Errorf("-fuzz-seed replays one seed; -fuzz-n sweeps a range — give one or the other")
+	}
+	if (fuzzSeed >= 0 || fuzzN > 0) && trips {
+		return fmt.Errorf("the differential fuzzer fixes its own executor set; it cannot combine with -trips")
 	}
 	if trips {
 		if procs > 1 {
@@ -237,6 +265,43 @@ func validateFlags(cores, scale, procs, par int, trips bool) error {
 	if procs*cores > tflex.NumCores {
 		return fmt.Errorf("-procs %d x -cores %d exceeds the %d-core chip", procs, cores, tflex.NumCores)
 	}
+	return nil
+}
+
+// runFuzz drives the differential harness from the command line: one
+// seed (replaying a reproducer from a test failure) or a seed range.
+// A divergence is shrunk, dumped as a .tfa file, and reported as an
+// error.
+func runFuzz(seed int64, n int) error {
+	h := fuzz.New()
+	check := func(seed int64) error {
+		d, err := h.CheckSeed(seed)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			return nil
+		}
+		d = h.Shrink(d)
+		path, derr := fuzz.DumpTFA(d)
+		if derr != nil {
+			path = "(dump failed: " + derr.Error() + ")"
+		}
+		return fmt.Errorf("%s\nshrunk reproducer: %s", d.Report(), path)
+	}
+	if n == 0 { // single-seed replay
+		if err := check(seed); err != nil {
+			return err
+		}
+		fmt.Printf("fuzz seed %d: %d executors agree\n", seed, len(h.Execs))
+		return nil
+	}
+	for s := int64(0); s < int64(n); s++ {
+		if err := check(s); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fuzz seeds [0,%d): %d executors agree on every program\n", n, len(h.Execs))
 	return nil
 }
 

@@ -1,0 +1,162 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/clp-sim/tflex/internal/compose"
+	"github.com/clp-sim/tflex/internal/conv"
+	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/prog"
+	"github.com/clp-sim/tflex/internal/sim"
+)
+
+// Functional executes programs on the architectural dataflow
+// interpreter (internal/exec) — the ground-truth semantics every other
+// executor is judged against.
+type Functional struct{}
+
+// Name implements Executor.
+func (Functional) Name() string { return "functional" }
+
+// Run implements Executor.
+func (Functional) Run(p *prog.Program, in Input) (State, error) {
+	m := exec.NewMachine(p)
+	m.Regs = in.Regs
+	pm := m.Mem.(*exec.PageMem)
+	if len(in.Mem) > 0 {
+		pm.WriteBytes(in.MemBase, in.Mem)
+	}
+	sh := NewStoreHasher()
+	m.OnStore = sh.Observe
+	st, err := m.Run(in.maxBlocks())
+	if err != nil {
+		return State{}, err
+	}
+	return State{
+		Regs:        m.Regs,
+		MemDigest:   pm.Digest(),
+		Blocks:      st.Blocks,
+		Stores:      sh.Count(),
+		StoreDigest: sh.Digest(),
+	}, nil
+}
+
+// Sim executes programs on the timing simulator: a freshly built chip
+// with one processor composed of Cores cores, in either the optimized
+// or the bit-identical reference engine.
+type Sim struct {
+	Cores     int
+	Reference bool
+}
+
+// Name implements Executor.
+func (s Sim) Name() string {
+	eng := "opt"
+	if s.Reference {
+		eng = "ref"
+	}
+	return fmt.Sprintf("sim-%s-%d", eng, s.Cores)
+}
+
+// Run implements Executor.
+func (s Sim) Run(p *prog.Program, in Input) (State, error) {
+	cores, err := compose.Rect(0, 0, s.Cores)
+	if err != nil {
+		return State{}, err
+	}
+	opts := sim.DefaultOptions()
+	opts.Reference = s.Reference
+	chip := sim.New(opts)
+	proc, err := chip.AddProc(cores, p)
+	if err != nil {
+		return State{}, err
+	}
+	proc.Regs = in.Regs
+	if len(in.Mem) > 0 {
+		proc.Mem.WriteBytes(in.MemBase, in.Mem)
+	}
+	sh := NewStoreHasher()
+	proc.TraceStores(sh.Observe)
+	if err := chip.Run(in.maxCycles()); err != nil {
+		return State{}, err
+	}
+	return State{
+		Regs:        proc.Regs,
+		MemDigest:   proc.Mem.Digest(),
+		Blocks:      proc.Stats.BlocksCommitted,
+		Stores:      sh.Count(),
+		StoreDigest: sh.Digest(),
+	}, nil
+}
+
+// ConvTrace executes programs through the linearized-trace pipeline the
+// conventional-superscalar model consumes: the functional machine
+// produces the trace, the architectural store stream is reconstructed
+// from trace entries alone (per-block boundaries, LSID order within a
+// block) and replayed onto a fresh memory, and the conv timing model is
+// run over the trace as a consistency check.  A bug in trace
+// linearization — wrong store values, missing entries, broken block
+// boundaries — shows up here as a state divergence even though the
+// underlying interpreter is shared with Functional.
+type ConvTrace struct{}
+
+// Name implements Executor.
+func (ConvTrace) Name() string { return "conv-trace" }
+
+// Run implements Executor.
+func (ConvTrace) Run(p *prog.Program, in Input) (State, error) {
+	m := exec.NewMachine(p)
+	m.Regs = in.Regs
+	if len(in.Mem) > 0 {
+		m.Mem.(*exec.PageMem).WriteBytes(in.MemBase, in.Mem)
+	}
+	tr := &exec.Trace{}
+	m.Trace = tr
+	st, err := m.Run(in.maxBlocks())
+	if err != nil {
+		return State{}, err
+	}
+	if tr.Truncated {
+		return State{}, fmt.Errorf("conv-trace: trace truncated at %d entries", len(tr.Entries))
+	}
+	if uint64(len(tr.Blocks)) != st.Blocks {
+		return State{}, fmt.Errorf("conv-trace: %d trace blocks for %d retired blocks", len(tr.Blocks), st.Blocks)
+	}
+	// Replay the store stream from the trace alone.  Entries within a
+	// dynamic block are in instruction-ID order; architectural commit
+	// order is LSID order, so sort each block's stores by LSID.
+	mem := exec.NewPageMem()
+	if len(in.Mem) > 0 {
+		mem.WriteBytes(in.MemBase, in.Mem)
+	}
+	sh := NewStoreHasher()
+	for bi, start := range tr.Blocks {
+		end := len(tr.Entries)
+		if bi+1 < len(tr.Blocks) {
+			end = tr.Blocks[bi+1]
+		}
+		var stores []exec.TraceEntry
+		for _, e := range tr.Entries[start:end] {
+			if e.IsStore {
+				stores = append(stores, e)
+			}
+		}
+		sort.Slice(stores, func(i, j int) bool { return stores[i].LSID < stores[j].LSID })
+		for _, e := range stores {
+			mem.Store(e.Addr, int(e.Size), e.Val)
+			sh.Observe(e.Addr, e.Size, e.Val)
+		}
+	}
+	// Timing-model consistency: conv must consume exactly the trace.
+	if res := conv.Run(tr.Entries, conv.DefaultConfig()); res.Insts != uint64(len(tr.Entries)) {
+		return State{}, fmt.Errorf("conv-trace: model retired %d of %d entries", res.Insts, len(tr.Entries))
+	}
+	return State{
+		Regs:        m.Regs,
+		MemDigest:   mem.Digest(),
+		Blocks:      uint64(len(tr.Blocks)),
+		Stores:      sh.Count(),
+		StoreDigest: sh.Digest(),
+	}, nil
+}

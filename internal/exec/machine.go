@@ -18,6 +18,11 @@ type Machine struct {
 	// stream for the conventional-superscalar model.
 	Trace *Trace
 
+	// OnStore, if non-nil, observes every committed store in commit order
+	// (block retirement order, LSID order within a block).  The harness
+	// layers a store-set digest on top without the machine knowing.
+	OnStore func(addr uint64, size uint8, val uint64)
+
 	regSrc [isa.NumRegs]int32
 }
 
@@ -74,6 +79,9 @@ func (m *Machine) Run(maxBlocks uint64) (RunStats, error) {
 			for _, s := range res.Stores {
 				if s.LSID == id {
 					m.Mem.Store(s.Addr, int(s.Size), s.Val)
+					if m.OnStore != nil {
+						m.OnStore(s.Addr, s.Size, s.Val)
+					}
 				}
 			}
 		}

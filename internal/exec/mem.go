@@ -12,6 +12,7 @@ package exec
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 )
 
 // Mem is the architectural memory interface.
@@ -90,6 +91,47 @@ func (m *PageMem) Read32(addr uint64) uint32       { return uint32(m.Load(addr, 
 func (m *PageMem) Write32(addr uint64, v uint32)   { m.Store(addr, 4, uint64(v)) }
 func (m *PageMem) ReadF64(addr uint64) float64     { return math.Float64frombits(m.Read64(addr)) }
 func (m *PageMem) WriteF64(addr uint64, v float64) { m.Write64(addr, math.Float64bits(v)) }
+
+// Digest returns an FNV-1a hash of the memory image: page numbers in
+// ascending order followed by page contents, skipping all-zero pages so
+// the digest is insensitive to whether an untouched page was ever
+// materialized.  Two memories with identical architectural contents
+// produce identical digests regardless of access history.
+func (m *PageMem) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	h := uint64(offset64)
+	byte1a := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	for _, pn := range pns {
+		p := m.pages[pn]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], pn)
+		for _, b := range hdr {
+			byte1a(b)
+		}
+		for _, b := range p {
+			byte1a(b)
+		}
+	}
+	return h
+}
 
 // WriteBytes copies raw bytes into memory.
 func (m *PageMem) WriteBytes(addr uint64, b []byte) { m.writeBytes(addr, b) }

@@ -15,6 +15,8 @@ type TraceEntry struct {
 	Src1, Src2 int32 // producer trace indices; -1 = none/architectural
 	Addr       uint64
 	Size       uint8
+	Val        uint64 // store data value (stores only)
+	LSID       int8   // within-block memory program order (mem ops only, else -1)
 	IsLoad     bool
 	IsStore    bool
 	IsBranch   bool
@@ -25,7 +27,12 @@ type TraceEntry struct {
 // Trace accumulates linearized dynamic instructions.
 type Trace struct {
 	Entries []TraceEntry
-	Limit   int // maximum entries (0 = default)
+	// Blocks holds the starting entry index of each dynamic block, so
+	// consumers can recover block boundaries (entries within a block are
+	// in instruction-ID order, not LSID order).
+	Blocks    []int
+	Truncated bool // entries were dropped after hitting Limit
+	Limit     int  // maximum entries (0 = default)
 }
 
 // DefaultTraceLimit bounds trace memory for runaway programs.
@@ -69,27 +76,33 @@ func (r *blockRun) emitTrace() {
 	}
 	base := len(t.Entries)
 	if base+len(ids) > t.limit() {
+		t.Truncated = true
 		return // stop tracing; callers check Truncated
 	}
+	t.Blocks = append(t.Blocks, base)
 	for _, idx := range ids {
 		in := &r.b.Insts[idx]
 		st := &r.insts[idx]
 		g := int32(len(t.Entries))
 		local2global[idx] = g
 		e := TraceEntry{
-			Op: in.Op,
-			PC: r.b.Addr + uint64(idx)*4,
+			Op:   in.Op,
+			PC:   r.b.Addr + uint64(idx)*4,
+			LSID: -1,
 		}
 		switch {
 		case in.Op == isa.OpLoad:
 			e.IsLoad = true
 			e.Addr = st.left.val + uint64(in.Imm)
 			e.Size = in.MemSize
+			e.LSID = in.LSID
 			e.Src1 = resolve(st.left.src)
 		case in.Op == isa.OpStore:
 			e.IsStore = true
 			e.Addr = st.left.val + uint64(in.Imm)
 			e.Size = in.MemSize
+			e.Val = st.right.val
+			e.LSID = in.LSID
 			e.Src1 = resolve(st.left.src)
 			e.Src2 = resolve(st.right.src)
 		case in.Op.IsBranch():

@@ -1,0 +1,102 @@
+// Package fuzz is the differential fuzzing harness: seeded random EDGE
+// programs (internal/edgegen) run through every executor behind the
+// arch.Executor contract — the functional interpreter, the linearized
+// conventional trace, and the timing simulator in both engines across
+// multiple core compositions — and any disagreement in final
+// architectural state is a failure.  A failing Spec is shrunk to a
+// minimal reproducer and dumped as a .tfa assembly file that carries
+// its own input, so a divergence found anywhere replays everywhere.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/clp-sim/tflex/internal/arch"
+	"github.com/clp-sim/tflex/internal/edgegen"
+)
+
+// DefaultCores are the compositions every generated program is checked
+// on, per the acceptance bar: 1-, 2- and 4-core processors.
+var DefaultCores = []int{1, 2, 4}
+
+// Harness drives one program through a fixed executor set.
+// Execs[0] is the ground truth the others are compared against.
+type Harness struct {
+	Execs []arch.Executor
+}
+
+// New returns the standard harness: functional ground truth, the
+// conventional-trace pipeline, and optimized + reference timing
+// simulations on each given composition (DefaultCores when empty).
+func New(cores ...int) *Harness {
+	if len(cores) == 0 {
+		cores = DefaultCores
+	}
+	h := &Harness{Execs: []arch.Executor{arch.Functional{}, arch.ConvTrace{}}}
+	for _, c := range cores {
+		h.Execs = append(h.Execs, arch.Sim{Cores: c}, arch.Sim{Cores: c, Reference: true})
+	}
+	return h
+}
+
+// Divergence reports one cross-executor disagreement: which executor
+// broke from the ground truth, and how.
+type Divergence struct {
+	Spec *edgegen.Spec
+	// Exec is the name of the diverging executor.
+	Exec string
+	// Ref is the ground-truth state; Got the diverging executor's (zero
+	// if it errored instead).
+	Ref, Got arch.State
+	// Err is the diverging executor's error when it failed to complete
+	// while the ground truth succeeded.
+	Err error
+	// Diff summarizes the state mismatch ("" when Err is the story).
+	Diff string
+}
+
+// Report renders the divergence with enough context to reproduce it:
+// seed, executor, state diff and the full program text.
+func (d *Divergence) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential divergence (seed %d): executor %s", d.Spec.Seed, d.Exec)
+	if d.Err != nil {
+		fmt.Fprintf(&b, " failed: %v\n", d.Err)
+	} else {
+		fmt.Fprintf(&b, " disagrees with ground truth: %s\n", d.Diff)
+	}
+	fmt.Fprintf(&b, "replay: tflexsim -fuzz-seed %d\nprogram:\n%s", d.Spec.Seed, d.Spec.Asm())
+	return b.String()
+}
+
+// Check runs the Spec through every executor and returns the first
+// divergence from the ground truth, or nil when all agree.  A non-nil
+// error means the Spec itself could not be built or the ground truth
+// failed — a generator or harness defect, not a simulator divergence.
+func (h *Harness) Check(s *edgegen.Spec) (*Divergence, error) {
+	p, err := s.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: seed %d: generated program does not build: %w", s.Seed, err)
+	}
+	in := s.Input()
+	ref, err := h.Execs[0].Run(p, in)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: seed %d: ground truth %s failed: %w", s.Seed, h.Execs[0].Name(), err)
+	}
+	for _, ex := range h.Execs[1:] {
+		st, err := ex.Run(p, in)
+		if err != nil {
+			return &Divergence{Spec: s, Exec: ex.Name(), Ref: ref, Err: err}, nil
+		}
+		if d := st.Diff(ref); d != "" {
+			return &Divergence{Spec: s, Exec: ex.Name(), Ref: ref, Got: st, Diff: d}, nil
+		}
+	}
+	return nil, nil
+}
+
+// CheckSeed generates and checks one seed.
+func (h *Harness) CheckSeed(seed int64) (*Divergence, error) {
+	return h.Check(edgegen.GenSpec(seed))
+}

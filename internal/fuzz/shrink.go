@@ -1,0 +1,194 @@
+package fuzz
+
+import (
+	"github.com/clp-sim/tflex/internal/edgegen"
+)
+
+// Shrink minimizes a failing Spec: it greedily applies reduction
+// passes — truncating the block list, simplifying terminators,
+// reducing loop trip counts, neutralizing ops to constants, zeroing
+// the initial image — keeping a candidate only if it still diverges,
+// and repeats until no pass makes progress.  Every candidate is a
+// structurally valid Spec (ops are replaced in place, never removed,
+// so slot references stay intact), which means the minimal reproducer
+// is always expressible as a .tfa program.
+//
+// The returned Divergence's Spec is minimal under these passes; it may
+// name a different diverging executor than the input (any divergence
+// counts, as is standard in fuzz shrinking).
+func (h *Harness) Shrink(d *Divergence) *Divergence {
+	best := d
+	// still returns the divergence a candidate retains, or nil.  Build
+	// failures reject the candidate (structurally invalid mutations
+	// cannot happen via these passes, but arbitrary Specs are cheap to
+	// re-validate end to end).
+	still := func(c *edgegen.Spec) *Divergence {
+		dv, err := h.Check(c)
+		if err != nil {
+			return nil
+		}
+		return dv
+	}
+	// Every candidate is a strict reduction (fewer blocks, a simpler
+	// terminator, one fewer live op, fewer trips, or less initial
+	// state), so the greedy loop terminates: each accepted step shrinks
+	// a well-founded measure.
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range candidates(best.Spec) {
+			if dv := still(cand); dv != nil {
+				best = dv
+				improved = true
+				break
+			}
+		}
+	}
+	return best
+}
+
+// weight counts nonzero bytes of initial state, so zeroing passes
+// register as progress.
+func weight(s *edgegen.Spec) int {
+	n := 0
+	for _, v := range s.InitRegs {
+		if v != 0 {
+			n++
+		}
+	}
+	for _, b := range s.Mem {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates enumerates one-step reductions of the Spec, most
+// aggressive first so the greedy loop takes big bites early.
+func candidates(s *edgegen.Spec) []*edgegen.Spec {
+	var out []*edgegen.Spec
+
+	// Truncate the block list: keep blocks[0:n), retargeting any branch
+	// that escapes the kept range to a halt.
+	for n := 1; n < len(s.Blocks); n++ {
+		c := s.Clone()
+		c.Blocks = c.Blocks[:n]
+		for bi := range c.Blocks {
+			t := &c.Blocks[bi].Term
+			esc := func(to int) bool { return to >= n }
+			switch t.Kind {
+			case edgegen.TBranch:
+				if esc(t.To1) {
+					*t = edgegen.TermSpec{Kind: edgegen.THalt}
+				}
+			case edgegen.TBranchIf:
+				if esc(t.To1) || esc(t.To2) {
+					*t = edgegen.TermSpec{Kind: edgegen.THalt}
+				}
+			case edgegen.TLoop:
+				if esc(t.To1) {
+					*t = edgegen.TermSpec{Kind: edgegen.THalt}
+				}
+			}
+		}
+		out = append(out, c)
+	}
+
+	// Simplify terminators: conditional -> unconditional -> halt.
+	for bi := range s.Blocks {
+		switch t := s.Blocks[bi].Term; t.Kind {
+		case edgegen.TBranchIf:
+			c := s.Clone()
+			c.Blocks[bi].Term = edgegen.TermSpec{Kind: edgegen.TBranch, To1: t.To1}
+			out = append(out, c)
+			c2 := s.Clone()
+			c2.Blocks[bi].Term = edgegen.TermSpec{Kind: edgegen.TBranch, To1: t.To2}
+			out = append(out, c2)
+		case edgegen.TLoop:
+			c := s.Clone()
+			c.Blocks[bi].Term = edgegen.TermSpec{Kind: edgegen.TBranch, To1: t.To1}
+			out = append(out, c)
+			if t.Trips > 1 {
+				c2 := s.Clone()
+				c2.Blocks[bi].Term.Trips = 1
+				out = append(out, c2)
+			}
+		case edgegen.TBranch:
+			c := s.Clone()
+			c.Blocks[bi].Term = edgegen.TermSpec{Kind: edgegen.THalt}
+			out = append(out, c)
+		}
+	}
+
+	// Drop unreferenced ops outright, remapping the slot indices that
+	// follow.  This is what turns "13 ops, 12 of them neutralized" into
+	// a genuinely minimal reproducer.
+	for bi := range s.Blocks {
+		for oi := range s.Blocks[bi].Ops {
+			if referenced(&s.Blocks[bi], oi) {
+				continue
+			}
+			c := s.Clone()
+			blk := &c.Blocks[bi]
+			blk.Ops = append(blk.Ops[:oi], blk.Ops[oi+1:]...)
+			shift := func(slot *int) {
+				if *slot > oi {
+					*slot--
+				}
+			}
+			for i := range blk.Ops {
+				shift(&blk.Ops[i].A)
+				shift(&blk.Ops[i].B)
+				shift(&blk.Ops[i].C)
+				shift(&blk.Ops[i].Guard)
+			}
+			if blk.Term.Kind == edgegen.TBranchIf {
+				shift(&blk.Term.P)
+			}
+			out = append(out, c)
+		}
+	}
+
+	// Neutralize ops in place: any op becomes const 0, preserving every
+	// slot index.  Skip ops that already are that constant.
+	for bi := range s.Blocks {
+		for oi := range s.Blocks[bi].Ops {
+			op := s.Blocks[bi].Ops[oi]
+			if op.Kind == edgegen.KConst && op.Imm == 0 {
+				continue
+			}
+			c := s.Clone()
+			c.Blocks[bi].Ops[oi] = edgegen.OpSpec{Kind: edgegen.KConst, A: -1, B: -1, C: -1, Guard: -1}
+			out = append(out, c)
+		}
+	}
+
+	// Zero the initial state wholesale, then register by register.
+	if weight(s) > 0 {
+		c := s.Clone()
+		c.InitRegs = [edgegen.NumGenRegs]uint64{}
+		for i := range c.Mem {
+			c.Mem[i] = 0
+		}
+		out = append(out, c)
+	}
+	for i, v := range s.InitRegs {
+		if v != 0 {
+			c := s.Clone()
+			c.InitRegs[i] = 0
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// referenced reports whether any later op or the terminator consumes
+// the value slot.
+func referenced(blk *edgegen.BlockSpec, slot int) bool {
+	for _, op := range blk.Ops {
+		if op.A == slot || op.B == slot || op.C == slot || op.Guard == slot {
+			return true
+		}
+	}
+	return blk.Term.Kind == edgegen.TBranchIf && blk.Term.P == slot
+}

@@ -3,6 +3,8 @@ package kernels
 import (
 	"sync"
 	"testing"
+
+	"github.com/clp-sim/tflex/internal/prog"
 )
 
 // Registering a kernel whose name is already taken must panic — a silent
@@ -19,6 +21,24 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		}
 	}()
 	register(Kernel{Name: "conv", Suite: "hand", Build: nil})
+}
+
+// Every registered kernel — the Table 1 suite and the extras — must
+// build a program that passes the exported ISA validator.  The builder
+// validates at seal time, but this pins the stronger claim: nothing in
+// the registry depends on a rule Validate does not enforce, so the
+// fuzz harness and the kernels hold programs to the same contract.
+func TestAllKernelsPassValidate(t *testing.T) {
+	for _, k := range append(All(), Extras()...) {
+		inst, err := k.Build(1)
+		if err != nil {
+			t.Errorf("%s: Build(1): %v", k.Name, err)
+			continue
+		}
+		if err := prog.Validate(inst.Prog); err != nil {
+			t.Errorf("%s: Validate: %v", k.Name, err)
+		}
+	}
 }
 
 // The registry/order maps are mutated only by init-time register()

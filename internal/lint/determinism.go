@@ -10,7 +10,11 @@ package lint
 //     lines on stderr); everything that feeds a figure or a cycle
 //     count must be a pure function of its inputs.  The analyzer flags
 //     any import of time or math/rand outside the allowlisted
-//     driver packages.
+//     driver packages.  One carve-out: packages that are random by
+//     design but seed-reproducible (the EDGE program generator) may
+//     import math/rand, and there the analyzer instead flags any use
+//     of the process-global source (rand.Intn and friends) — only
+//     explicitly seeded *rand.Rand instances are allowed.
 //
 //  2. Ranging over a map on a path that can reach output.  Go
 //     randomizes map iteration order per run, so a map range is only
@@ -51,6 +55,30 @@ var forbiddenImports = map[string]string{
 	"math/rand/v2": "unseeded randomness breaks byte-identical replay",
 }
 
+// seededRandAllowed lists the packages that may import math/rand on the
+// condition that every use goes through an explicitly seeded source:
+// the EDGE program generator is random by design but must regenerate
+// the identical program for one seed.  In these packages the analyzer
+// swaps the import ban for a use check — only the constructors
+// (rand.New, rand.NewSource) and type names may be referenced at
+// package scope; the top-level convenience functions (rand.Intn,
+// rand.Shuffle, ...) draw from the process-global source and are
+// flagged.
+func seededRandAllowed(relPath string) bool {
+	return relPath == "internal/edgegen"
+}
+
+// seededRandOK are the math/rand package-scope names that do not touch
+// the global source: constructors and the types they return.
+var seededRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"Rand":      true,
+	"Source":    true,
+	"NewZipf":   true, // takes an explicit *Rand
+	"Zipf":      true,
+}
+
 // Determinism enforces the no-wall-clock rule and flags map iteration
 // that can leak Go's randomized order into results.
 var Determinism = &Analyzer{
@@ -64,10 +92,38 @@ func runDeterminism(m *Module, pkg *Package, report ReportFunc) {
 		for _, f := range pkg.Files {
 			for _, spec := range f.Imports {
 				p := importPath(spec)
-				if why, ok := forbiddenImports[p]; ok {
-					report(spec.Pos(), "import %q outside the driver allowlist: %s", p, why)
+				why, ok := forbiddenImports[p]
+				if !ok {
+					continue
 				}
+				if seededRandAllowed(pkg.RelPath) && strings.HasPrefix(p, "math/rand") {
+					continue // import allowed; uses are checked below
+				}
+				report(spec.Pos(), "import %q outside the driver allowlist: %s", p, why)
 			}
+		}
+	}
+
+	if seededRandAllowed(pkg.RelPath) {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok || !strings.HasPrefix(pn.Imported().Path(), "math/rand") {
+					return true
+				}
+				if !seededRandOK[sel.Sel.Name] {
+					report(sel.Pos(), "rand.%s draws from the process-global source; use an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+				}
+				return false
+			})
 		}
 	}
 

@@ -1,0 +1,28 @@
+// Fixture: internal/edgegen is on the seeded-rand allowlist — the
+// math/rand import itself is accepted, but any use of the
+// process-global source must be flagged; only explicitly seeded
+// *rand.Rand instances (and the constructors that build them) pass.
+package edgegen
+
+import (
+	"math/rand" // ok: edgegen may import rand for seeded generation
+)
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicit seed
+	return r.Intn(100)
+}
+
+func global() int {
+	return rand.Intn(100) // want "process-global source"
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "process-global source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+type holder struct {
+	r *rand.Rand // ok: type name only
+}

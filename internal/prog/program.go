@@ -72,7 +72,7 @@ func (p *Program) AddrOf(name string) (uint64, bool) {
 }
 
 // layout assigns addresses, resolves branch labels and label constants, and
-// validates every block.
+// validates the whole program through Validate.
 func (p *Program) layout() error {
 	p.byName = make(map[string]*isa.Block, len(p.Blocks))
 	p.byAddr = make(map[uint64]*isa.Block, len(p.Blocks))
@@ -84,11 +84,8 @@ func (p *Program) layout() error {
 		p.byName[b.Name] = b
 		p.byAddr[b.Addr] = b
 	}
-	if p.Entry == "" {
-		return fmt.Errorf("prog: no entry block")
-	}
-	if p.byName[p.Entry] == nil {
-		return fmt.Errorf("prog: entry block %q not defined", p.Entry)
+	if err := Validate(p); err != nil {
+		return err
 	}
 	for _, b := range p.Blocks {
 		for i := range b.Insts {
@@ -96,18 +93,12 @@ func (p *Program) layout() error {
 			if in.BranchTo == "" {
 				continue
 			}
-			tgt, ok := p.byName[in.BranchTo]
-			if !ok {
-				return fmt.Errorf("prog: block %s references undefined label %q", b.Name, in.BranchTo)
-			}
+			tgt := p.byName[in.BranchTo] // resolvable: Validate checked labels
 			in.TargetAddr = tgt.Addr
 			if in.Op == isa.OpGenC {
 				// Label constant: materialize the target address.
 				in.Imm = int64(tgt.Addr)
 			}
-		}
-		if err := b.Validate(); err != nil {
-			return err
 		}
 	}
 	return nil

@@ -75,6 +75,7 @@ type Proc struct {
 	slotScratch []int
 
 	blockTrace func(BlockEvent)
+	storeTrace func(addr uint64, size uint8, val uint64)
 
 	// Latency histograms, non-nil only once the chip's telemetry registry
 	// is built; Observe is nil-safe, so the disabled path costs one nil
@@ -662,6 +663,9 @@ func (p *Proc) applyArchState(b *IFB) {
 				continue
 			}
 			p.Mem.Store(s.addr, int(s.size), s.val)
+			if p.storeTrace != nil {
+				p.storeTrace(s.addr, s.size, s.val)
+			}
 			p.commitStoreToCache(s.addr)
 		}
 	}

@@ -50,6 +50,12 @@ type BlockEvent struct {
 // the simulation loop; it must not call back into the simulator.
 func (p *Proc) TraceBlocks(fn func(BlockEvent)) { p.blockTrace = fn }
 
+// TraceStores installs a store-commit observer invoked for every
+// architecturally committed store in commit order (block retirement
+// order, LSID order within a block).  Same contract as TraceBlocks: the
+// hook runs inside the simulation loop and must not call back in.
+func (p *Proc) TraceStores(fn func(addr uint64, size uint8, val uint64)) { p.storeTrace = fn }
+
 func (p *Proc) emitBlockEvent(b *IFB, retiredAt uint64, flushed bool) {
 	if p.blockTrace == nil && p.chip.trace == nil {
 		return

@@ -31,6 +31,7 @@ package tflex
 import (
 	"fmt"
 
+	"github.com/clp-sim/tflex/internal/arch"
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
@@ -75,6 +76,16 @@ type (
 	Machine = exec.Machine
 	// BlockEvent records one dynamic block's pipeline lifetime.
 	BlockEvent = sim.BlockEvent
+
+	// ArchState is the unified architectural-state contract every
+	// executor implements (see internal/arch): final registers, memory
+	// image digest, retired-block count and committed-store-stream
+	// digest.  Two runs of the same program with the same initial state
+	// must produce identical ArchState on any composition and engine.
+	ArchState = arch.State
+	// ArchExecutor runs a program to completion and reports ArchState;
+	// the differential fuzz harness drives a set of these.
+	ArchExecutor = arch.Executor
 
 	// Metrics is the chip-wide telemetry registry: typed counters,
 	// gauges and latency histograms under hierarchical names such as
@@ -230,6 +241,11 @@ type RunConfig struct {
 	// at every sample point (SampleEvery, defaulting to 4096 cycles when
 	// unset).  Start/Close the server yourself.
 	Observe *Observer
+	// ArchDigest arms collection of the unified architectural state:
+	// the committed-store stream is hashed during the run and
+	// Result.Arch reports the full ArchState afterwards.  Off by
+	// default — the store-commit path then pays only a nil check.
+	ArchDigest bool
 }
 
 // Result reports a completed run.
@@ -238,6 +254,10 @@ type Result struct {
 	Stats  Stats
 	Regs   [128]uint64
 	Mem    *Memory
+
+	// Arch is the unified architectural state of the finished run;
+	// nil unless RunConfig.ArchDigest was set.
+	Arch *ArchState
 
 	Telemetry *Metrics        // live registry; nil unless CollectMetrics
 	Metrics   MetricsSnapshot // end-of-run capture; nil unless CollectMetrics
@@ -319,16 +339,12 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 	if cfg.OnBlock != nil {
 		proc.TraceBlocks(cfg.OnBlock)
 	}
+	sh := armArchDigest(proc, cfg.ArchDigest)
 	if err := chip.Run(cfg.MaxCycles); err != nil {
 		return nil, fmt.Errorf("tflex: %w", err)
 	}
-	res := &Result{
-		Cycles:  proc.Stats.Cycles,
-		Stats:   proc.Stats,
-		Regs:    proc.Regs,
-		Mem:     proc.Mem,
-		Samples: samp,
-	}
+	res := newResult(proc, sh)
+	res.Samples = samp
 	if reg != nil {
 		res.Telemetry = reg
 		res.Metrics = reg.Snapshot()
@@ -381,6 +397,7 @@ func RunMulti(specs []ProgramSpec, cfg RunConfig) ([]*Result, error) {
 	}
 	chip := sim.New(opts)
 	procs := make([]*Proc, len(specs))
+	hashers := make([]*arch.StoreHasher, len(specs))
 	for i, sp := range specs {
 		pr, err := chip.AddProc(sp.Cores, sp.Prog)
 		if err != nil {
@@ -390,20 +407,49 @@ func RunMulti(specs []ProgramSpec, cfg RunConfig) ([]*Result, error) {
 			sp.Init(&pr.Regs, pr.Mem)
 		}
 		procs[i] = pr
+		hashers[i] = armArchDigest(pr, cfg.ArchDigest)
 	}
 	if err := chip.Run(cfg.MaxCycles); err != nil {
 		return nil, fmt.Errorf("tflex: %w", err)
 	}
 	results := make([]*Result, len(specs))
 	for i, pr := range procs {
-		results[i] = &Result{
-			Cycles: pr.Stats.Cycles,
-			Stats:  pr.Stats,
-			Regs:   pr.Regs,
-			Mem:    pr.Mem,
-		}
+		results[i] = newResult(pr, hashers[i])
 	}
 	return results, nil
+}
+
+// armArchDigest installs a store-stream hasher on the processor when
+// the run wants the unified architectural state, and returns it (nil
+// when disarmed).  Shared by Run and RunMulti.
+func armArchDigest(pr *Proc, want bool) *arch.StoreHasher {
+	if !want {
+		return nil
+	}
+	sh := arch.NewStoreHasher()
+	pr.TraceStores(sh.Observe)
+	return sh
+}
+
+// newResult assembles the architectural half of a Result — the fields
+// every run type reports identically from a finished processor.
+func newResult(pr *Proc, sh *arch.StoreHasher) *Result {
+	res := &Result{
+		Cycles: pr.Stats.Cycles,
+		Stats:  pr.Stats,
+		Regs:   pr.Regs,
+		Mem:    pr.Mem,
+	}
+	if sh != nil {
+		res.Arch = &ArchState{
+			Regs:        pr.Regs,
+			MemDigest:   pr.Mem.Digest(),
+			Blocks:      pr.Stats.BlocksCommitted,
+			Stores:      sh.Count(),
+			StoreDigest: sh.Digest(),
+		}
+	}
+	return res
 }
 
 // Verify runs the program architecturally (no timing) with the same
