@@ -11,17 +11,20 @@
 # optimized-vs-reference engine differential), an explicit race gate on
 # the telemetry layer (shared Chrome trace + per-chip samplers inside
 # concurrent runner jobs), an explicit race gate on the observability
-# server (HTTP scrapers hammering a sweep with live publishing), a live
-# smoke that curls /metrics and /critpath off a serving tflexexp, and a
-# one-iteration smoke of every benchmark so the bench harness cannot rot
-# unnoticed.
+# server (HTTP scrapers hammering a sweep with live publishing, plus
+# /domains + /flight scraped off a live ParallelDomains=4 chip), a live
+# smoke that curls /metrics and /critpath off a serving tflexexp, a
+# flight-recorder smoke (tflexsim -flight on a fuzz seed must write a
+# dump that -flight-print parses back), and a one-iteration smoke of
+# every benchmark so the bench harness cannot rot unnoticed.
 #
 #   ./ci.sh bench
 #
 # runs the performance harness instead: cmd/tflexbench times the Figure 6
 # job grid on the optimized and reference engines and writes the numbers
 # to BENCH_sim.json, then asserts the critical-path attribution overhead
-# budget (critpath_overhead <= 1.10x) and — on multi-CPU hosts only —
+# budget (critpath_overhead <= 1.10x), the flight-recorder overhead
+# budget (flight_overhead <= 1.05x) and — on multi-CPU hosts only —
 # the parallel-domain engine's speedup floor (parallel_speedup >= 1.5x
 # on the multiprogrammed grid; on one CPU the domain worker pool has
 # nothing to spread over, so the number is recorded but not gated).
@@ -65,6 +68,12 @@ if [ "${1:-}" = "bench" ]; then
         printf "critpath_overhead = %s\n", ov
         if (ov + 0 > 1.10) { print "FAIL: critpath attribution exceeds its 1.10x budget"; exit 1 }
     }' BENCH_sim.json
+    echo "== flight-recorder overhead budget (<= 1.05x) =="
+    awk '/"flight_overhead"/ {
+        gsub(/[",]/, ""); ov = $2
+        printf "flight_overhead = %s\n", ov
+        if (ov + 0 > 1.05) { print "FAIL: flight recorder exceeds its 1.05x budget"; exit 1 }
+    }' BENCH_sim.json
     echo "== parallel-domain speedup floor (>= 1.5x, multi-CPU hosts only) =="
     cpus=$(nproc 2>/dev/null || echo 1)
     awk -v cpus="$cpus" '/"parallel_speedup"/ {
@@ -103,8 +112,8 @@ echo "== telemetry race gate (sampler vs. runner jobs) =="
 go test -race -count=1 -run 'TestTelemetryUnderConcurrentJobs|TestRegistryConcurrent|TestChipTelemetryEndToEnd' \
     . ./internal/telemetry ./internal/sim
 
-echo "== observability race gate (HTTP scrape vs. live sweep) =="
-go test -race -count=1 -run 'TestConcurrentPublishAndScrape|TestObserverDuringConcurrentSweep' \
+echo "== observability race gate (HTTP scrape vs. live sweep + parallel domains) =="
+go test -race -count=1 -run 'TestConcurrentPublishAndScrape|TestObserverDuringConcurrentSweep|TestDomainsAndFlightUnderParallelRun' \
     ./internal/obs ./internal/experiments
 
 echo "== observability live smoke (tflexexp -serve) =="
@@ -141,6 +150,12 @@ esac
 echo "live /metrics (${#metrics} bytes) and /critpath OK"
 wait "$obspid" || true
 rm -rf "$(dirname "$obsbin")"
+
+echo "== flight recorder smoke (tflexsim -flight on a fuzz seed) =="
+flightdir=$(mktemp -d)
+go run ./cmd/tflexsim -fuzz-seed 7 -flight "$flightdir/seed7.flight.json" >/dev/null
+go run ./cmd/tflexsim -flight-print "$flightdir/seed7.flight.json" | head -5
+rm -rf "$flightdir"
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./...

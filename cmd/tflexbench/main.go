@@ -3,19 +3,22 @@
 // `ci.sh bench`).
 //
 // The workload is the Figure 6 job grid — every suite kernel on every
-// TFlex composition size plus the TRIPS baseline — run four times on a
+// TFlex composition size plus the TRIPS baseline — run five times on a
 // single goroutine: on the default optimized engine, on the reference
 // slow path (Options.Reference: container/heap event queue, no block
 // pooling, per-fetch decode), on the optimized engine with the full
 // telemetry stack armed (metric registry, latency histograms, Chrome
-// trace, 64-cycle sampler), and on the optimized engine with
-// critical-path attribution enabled.  All runs simulate the exact same
-// cycles, so reference/optimized isolates the engine optimizations,
+// trace, 64-cycle sampler), on the optimized engine with critical-path
+// attribution enabled, and on the optimized engine with the flight
+// recorder armed.  All runs simulate the exact same cycles, so
+// reference/optimized isolates the engine optimizations,
 // telemetry/optimized ("telemetry_overhead") prices the instrumentation,
-// and critpath/optimized ("critpath_overhead") prices the per-block
-// dataflow recording and walk — ci.sh gates the latter at 1.10x.  The
-// absolute wall seconds of each pass are also exported at top level so
-// regressions in the instrumented paths are visible without arithmetic.
+// critpath/optimized ("critpath_overhead") prices the per-block
+// dataflow recording and walk — ci.sh gates the latter at 1.10x — and
+// flight/optimized ("flight_overhead") prices the per-event ring writes,
+// gated at 1.05x.  The absolute wall seconds of each pass are also
+// exported at top level so regressions in the instrumented paths are
+// visible without arithmetic.
 //
 // Two further passes measure the event-domain engine where domains
 // actually multiply: a multiprogrammed workload (four copies of every
@@ -77,6 +80,7 @@ type report struct {
 	Reference engineResult `json:"reference"`
 	Telemetry engineResult `json:"telemetry"`
 	CritPath  engineResult `json:"critpath"`
+	Flight    engineResult `json:"flight"`
 	Speedup   float64      `json:"speedup"`
 	// MultiWorkload is the multiprogrammed job grid measured by the
 	// serial_domains and parallel_domains passes.
@@ -99,6 +103,7 @@ type report struct {
 	OptimizedWallSeconds float64 `json:"optimized_wall_seconds"`
 	TelemetryWallSeconds float64 `json:"telemetry_wall_seconds"`
 	CritPathWallSeconds  float64 `json:"critpath_wall_seconds"`
+	FlightWallSeconds    float64 `json:"flight_wall_seconds"`
 	// TelemetryOverhead is telemetry-on wall over telemetry-off wall on
 	// the optimized engine, as the median per-round ratio (see overheadOf).
 	TelemetryOverhead float64 `json:"telemetry_overhead"`
@@ -106,6 +111,10 @@ type report struct {
 	// as the median per-round ratio; ci.sh fails the bench if it exceeds
 	// 1.10x.
 	CritPathOverhead float64 `json:"critpath_overhead"`
+	// FlightOverhead is flight-recorder-on wall over plain optimized
+	// wall, as the median per-round ratio; ci.sh fails the bench if it
+	// exceeds 1.05x.
+	FlightOverhead float64 `json:"flight_overhead"`
 }
 
 // job is one simulation of the Figure 6 grid.
@@ -127,7 +136,7 @@ func grid() []job {
 
 // pass is one engine configuration measured by the benchmark.
 type pass struct {
-	reference, telemetry, critpath bool
+	reference, telemetry, critpath, flight bool
 	// multi switches the pass to the multiprogrammed workload (see
 	// multiGrid); domains is its ParallelDomains setting.
 	multi   bool
@@ -210,10 +219,10 @@ func (ps *pass) measure(jobs []job, scale int) (engineResult, error) {
 	if ps.multi {
 		return measureMulti(scale, ps.domains)
 	}
-	return measureGrid(jobs, scale, ps.reference, ps.telemetry, ps.critpath)
+	return measureGrid(jobs, scale, ps.reference, ps.telemetry, ps.critpath, ps.flight)
 }
 
-func measureGrid(jobs []job, scale int, reference, telemetry, critpath bool) (engineResult, error) {
+func measureGrid(jobs []job, scale int, reference, telemetry, critpath, flight bool) (engineResult, error) {
 	opts := tflex.DefaultOptions()
 	opts.Reference = reference
 	// Start from a collected heap: without this, each pass is timed in
@@ -243,6 +252,7 @@ func measureGrid(jobs []job, scale int, reference, telemetry, critpath bool) (en
 			cfg.SampleEvery = 64
 		}
 		cfg.CritPath = critpath
+		cfg.Flight = flight
 		res, err := tflex.RunKernel(j.kernel, scale, cfg)
 		if err != nil {
 			return r, fmt.Errorf("%s/%dc: %w", j.kernel, j.cores, err)
@@ -319,7 +329,7 @@ func measureMulti(scale, domains int) (engineResult, error) {
 }
 
 // passNames are the -only values, in report order.
-var passNames = []string{"reference", "optimized", "telemetry", "critpath", "serial", "parallel"}
+var passNames = []string{"reference", "optimized", "telemetry", "critpath", "flight", "serial", "parallel"}
 
 // validateFlags rejects flag values that would otherwise produce a
 // silent zero-value run: -reps 0 measures nothing and reports all-zero
@@ -352,7 +362,7 @@ func main() {
 	scale := flag.Int("scale", 1, "kernel input scale")
 	out := flag.String("out", "BENCH_sim.json", "output file")
 	reps := flag.Int("reps", 8, "repetitions per pass (interleaved, ABBA order); the fastest is reported")
-	only := flag.String("only", "", "run a single pass (reference|optimized|telemetry|critpath|serial|parallel); for profiling")
+	only := flag.String("only", "", "run a single pass (reference|optimized|telemetry|critpath|flight|serial|parallel); for profiling")
 	par := flag.Int("par", 8, "ParallelDomains for the parallel multiprogram pass")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -400,6 +410,7 @@ func main() {
 	optimized := &pass{}
 	telemetry := &pass{telemetry: true}
 	critpath := &pass{critpath: true}
+	flight := &pass{flight: true}
 	serial := &pass{multi: true, domains: 1}
 	parallel := &pass{multi: true, domains: *par}
 
@@ -408,6 +419,7 @@ func main() {
 		ps, ok := map[string]*pass{
 			"reference": reference, "optimized": optimized,
 			"telemetry": telemetry, "critpath": critpath,
+			"flight": flight,
 			"serial": serial, "parallel": parallel,
 		}[*only]
 		if !ok {
@@ -424,7 +436,7 @@ func main() {
 	}
 
 	if err := measureBest(*reps, jobs, *scale,
-		[]*pass{reference, telemetry, optimized, critpath, serial, parallel}); err != nil {
+		[]*pass{reference, telemetry, optimized, flight, critpath, serial, parallel}); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexbench:", err)
 		os.Exit(1)
 	}
@@ -432,14 +444,17 @@ func main() {
 	rep.Optimized = optimized.best
 	rep.Telemetry = telemetry.best
 	rep.CritPath = critpath.best
+	rep.Flight = flight.best
 	rep.SerialDomains = serial.best
 	rep.ParallelDomains = parallel.best
 	rep.Speedup = rep.Reference.WallSeconds / rep.Optimized.WallSeconds
 	rep.OptimizedWallSeconds = rep.Optimized.WallSeconds
 	rep.TelemetryWallSeconds = rep.Telemetry.WallSeconds
 	rep.CritPathWallSeconds = rep.CritPath.WallSeconds
+	rep.FlightWallSeconds = rep.Flight.WallSeconds
 	rep.TelemetryOverhead = overheadOf(telemetry, optimized)
 	rep.CritPathOverhead = overheadOf(critpath, optimized)
+	rep.FlightOverhead = overheadOf(flight, optimized)
 	rep.ParallelSpeedup = overheadOf(serial, parallel)
 
 	f, err := os.Create(*out)
@@ -464,11 +479,13 @@ func main() {
 		rep.Telemetry.WallSeconds, rep.Telemetry.SimCyclesPerSec, rep.Telemetry.AllocsPerBlock)
 	fmt.Printf("  critpath   %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
 		rep.CritPath.WallSeconds, rep.CritPath.SimCyclesPerSec, rep.CritPath.AllocsPerBlock)
+	fmt.Printf("  flight     %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block\n",
+		rep.Flight.WallSeconds, rep.Flight.SimCyclesPerSec, rep.Flight.AllocsPerBlock)
 	fmt.Printf("  serial     %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block  (multiprogram, 1 domain worker)\n",
 		rep.SerialDomains.WallSeconds, rep.SerialDomains.SimCyclesPerSec, rep.SerialDomains.AllocsPerBlock)
 	fmt.Printf("  parallel   %6.2fs  %11.0f sim-cycles/s  %6.1f allocs/block  (multiprogram, %d domain workers)\n",
 		rep.ParallelDomains.WallSeconds, rep.ParallelDomains.SimCyclesPerSec, rep.ParallelDomains.AllocsPerBlock, *par)
-	fmt.Printf("  speedup    %.2fx (telemetry overhead %.2fx, critpath overhead %.2fx)\n",
-		rep.Speedup, rep.TelemetryOverhead, rep.CritPathOverhead)
+	fmt.Printf("  speedup    %.2fx (telemetry overhead %.2fx, critpath overhead %.2fx, flight overhead %.2fx)\n",
+		rep.Speedup, rep.TelemetryOverhead, rep.CritPathOverhead, rep.FlightOverhead)
 	fmt.Printf("  parallel domains %.2fx on %d CPUs\n", rep.ParallelSpeedup, rep.CPUs)
 }

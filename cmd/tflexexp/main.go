@@ -12,8 +12,10 @@
 // With -serve ADDR a live observability server runs for the duration of
 // the sweep: /metrics (latest telemetry snapshot), /critpath (rolling
 // critical-path attribution across all jobs), /events (SSE sampler
-// stream) and /debug/pprof.  Observation is passive — the tables on
-// stdout are unchanged.
+// stream), /domains (per-domain scheduler statistics) and /debug/pprof.
+// Observation is passive — the tables on stdout are unchanged.  A
+// parallel-efficiency summary line (job concurrency plus domain
+// scheduler aggregates) lands on stderr after the tables.
 //
 // Each experiment enqueues its full simulation job set on the concurrent
 // runner (-jobs workers, default GOMAXPROCS) and renders its tables from
@@ -135,7 +137,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tflexexp: serve:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "observability server on http://%s (endpoints: /metrics /critpath /events /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (endpoints: /metrics /critpath /events /domains /debug/pprof)\n", addr)
 		s.SetObserver(srv)
 		defer srv.Close()
 	}
@@ -166,6 +168,7 @@ func main() {
 			}
 		}
 		fmt.Fprintln(os.Stderr, s.Summary())
+		fmt.Fprintln(os.Stderr, s.Parallel())
 	}
 
 	// validateFlags already pinned *exp to "all" or a known name.

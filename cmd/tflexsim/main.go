@@ -28,7 +28,17 @@
 // fuzzer through every executor (functional, conv-trace, optimized and
 // reference timing on 1/2/4 cores); -fuzz-n N sweeps seeds [0,N).  A
 // divergence is shrunk to a minimal reproducer and dumped as a .tfa
-// file.
+// file with a flight-recorder sidecar.
+//
+// -flight FILE arms the always-on flight recorder and writes every
+// domain's ring of scheduler/pipeline records as JSON after the run
+// (combined with -fuzz-seed it replays the seed with the recorder
+// armed); -flight-events N sizes the rings; -flight-print FILE renders
+// a dump back as text:
+//
+//	tflexsim -kernel conv -cores 8 -flight dump.json
+//	tflexsim -fuzz-seed 7 -flight dump.json
+//	tflexsim -flight-print dump.json
 package main
 
 import (
@@ -41,7 +51,9 @@ import (
 	"strconv"
 
 	"github.com/clp-sim/tflex"
+	"github.com/clp-sim/tflex/internal/edgegen"
 	"github.com/clp-sim/tflex/internal/experiments"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/fuzz"
 	"github.com/clp-sim/tflex/internal/profiling"
 )
@@ -68,7 +80,18 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	fuzzSeed := flag.Int64("fuzz-seed", -1, "replay this differential-fuzz seed through every executor and report any divergence")
 	fuzzN := flag.Int("fuzz-n", 0, "differentially check seeds [0,N) across every executor")
+	flightOut := flag.String("flight", "", "arm the flight recorder and write its ring dump as JSON to this file after the run")
+	flightEvents := flag.Int("flight-events", 0, "per-domain flight ring size in records, rounded up to a power of two (<=0: 4096)")
+	flightPrint := flag.String("flight-print", "", "render a flight dump file as text on stdout and exit")
 	flag.Parse()
+
+	if *flightPrint != "" {
+		if err := printFlight(*flightPrint); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := validateFlags(*cores, *scale, *procs, *par, *fuzzN, *fuzzSeed, *useTRIPS); err != nil {
 		fmt.Fprintln(os.Stderr, "tflexsim:", err)
@@ -95,7 +118,7 @@ func main() {
 	}
 
 	if *fuzzSeed >= 0 || *fuzzN > 0 {
-		if err := runFuzz(*fuzzSeed, *fuzzN); err != nil {
+		if err := runFuzz(*fuzzSeed, *fuzzN, *flightOut, *flightEvents); err != nil {
 			fmt.Fprintln(os.Stderr, "tflexsim:", err)
 			os.Exit(1)
 		}
@@ -110,8 +133,20 @@ func main() {
 		return
 	}
 
+	var srv *tflex.Observer
+	if *serve != "" {
+		srv = tflex.NewObserver()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tflexsim: serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (endpoints: /metrics /critpath /events /domains /flight /debug/pprof)\n", addr)
+		defer srv.Close()
+	}
+
 	if *procs > 1 {
-		if err := runMultiProg(*kernel, *scale, *cores, *procs, *par); err != nil {
+		if err := runMultiProg(*kernel, *scale, *cores, *procs, *par, *flightOut, *flightEvents, srv); err != nil {
 			fmt.Fprintln(os.Stderr, "tflexsim:", err)
 			os.Exit(1)
 		}
@@ -123,17 +158,9 @@ func main() {
 		TRIPS:           *useTRIPS,
 		CritPath:        *critPath,
 		ParallelDomains: *par,
-	}
-	if *serve != "" {
-		srv := tflex.NewObserver()
-		addr, err := srv.Start(*serve)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tflexsim: serve:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "observability server on http://%s (endpoints: /metrics /critpath /events /debug/pprof)\n", addr)
-		runCfg.Observe = srv
-		defer srv.Close()
+		Flight:          *flightOut != "",
+		FlightEvents:    *flightEvents,
+		Observe:         srv,
 	}
 	var events []tflex.BlockEvent
 	if *timeline != "" {
@@ -164,6 +191,7 @@ func main() {
 		{*metrics, func(w io.Writer) error { return res.Telemetry.WriteJSON(w) }},
 		{*chromeTrace, func(w io.Writer) error { return runCfg.ChromeTrace.WriteJSON(w) }},
 		{*sample, func(w io.Writer) error { return res.Samples.WriteJSON(w) }},
+		{*flightOut, func(w io.Writer) error { return res.Flight.WriteJSON(w) }},
 	} {
 		if out.path == "" {
 			continue
@@ -270,9 +298,11 @@ func validateFlags(cores, scale, procs, par, fuzzN int, fuzzSeed int64, trips bo
 
 // runFuzz drives the differential harness from the command line: one
 // seed (replaying a reproducer from a test failure) or a seed range.
-// A divergence is shrunk, dumped as a .tfa file, and reported as an
-// error.
-func runFuzz(seed int64, n int) error {
+// A divergence is shrunk, dumped as a .tfa file with a flight-recorder
+// sidecar, and reported as an error.  With -flight, a single-seed
+// replay additionally re-runs the program on a 2-core composition with
+// the recorder armed and writes the ring dump — divergence or not.
+func runFuzz(seed int64, n int, flightOut string, flightEvents int) error {
 	h := fuzz.New()
 	check := func(seed int64) error {
 		d, err := h.CheckSeed(seed)
@@ -293,6 +323,11 @@ func runFuzz(seed int64, n int) error {
 		if err := check(seed); err != nil {
 			return err
 		}
+		if flightOut != "" {
+			if err := dumpSeedFlight(seed, flightOut, flightEvents); err != nil {
+				return err
+			}
+		}
 		fmt.Printf("fuzz seed %d: %d executors agree\n", seed, len(h.Execs))
 		return nil
 	}
@@ -305,11 +340,41 @@ func runFuzz(seed int64, n int) error {
 	return nil
 }
 
+// dumpSeedFlight replays one fuzz seed on a 2-core optimized
+// composition with the flight recorder armed and writes the ring dump
+// as JSON.
+func dumpSeedFlight(seed int64, path string, events int) error {
+	spec := edgegen.GenSpec(seed)
+	p, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	dump, err := fuzz.FlightReplay(p, spec.Input(), 2, events)
+	if err != nil {
+		return err
+	}
+	return writeFile(path, dump.WriteJSON)
+}
+
+// printFlight renders a flight dump file back as text.
+func printFlight(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dump, err := flight.ParseDump(f)
+	if err != nil {
+		return err
+	}
+	return dump.WriteText(os.Stdout)
+}
+
 // runMultiProg multiprograms n copies of the kernel on disjoint
 // compositions of the given size — one event domain per processor, at
 // most par of them simulating concurrently — and prints per-processor
 // results.
-func runMultiProg(kernel string, scale, cores, n, par int) error {
+func runMultiProg(kernel string, scale, cores, n, par int, flightOut string, flightEvents int, srv *tflex.Observer) error {
 	rects, err := tflex.Partition(cores, n)
 	if err != nil {
 		return err
@@ -324,9 +389,19 @@ func runMultiProg(kernel string, scale, cores, n, par int) error {
 		insts[i] = inst
 		specs[i] = tflex.ProgramSpec{Prog: inst.Prog, Cores: rects[i], Init: inst.Init}
 	}
-	results, err := tflex.RunMulti(specs, tflex.RunConfig{ParallelDomains: par})
+	results, err := tflex.RunMulti(specs, tflex.RunConfig{
+		ParallelDomains: par,
+		Flight:          flightOut != "",
+		FlightEvents:    flightEvents,
+		Observe:         srv,
+	})
 	if err != nil {
 		return err
+	}
+	if flightOut != "" {
+		if err := writeFile(flightOut, results[0].Flight.WriteJSON); err != nil {
+			return err
+		}
 	}
 	for i, r := range results {
 		if err := insts[i].Check(&r.Regs, r.Mem); err != nil {

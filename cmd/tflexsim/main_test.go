@@ -55,10 +55,10 @@ func TestValidateFlags(t *testing.T) {
 // runFuzz on a small clean seed range must succeed; the corpus gate in
 // internal/fuzz covers the full range.
 func TestRunFuzzCleanRange(t *testing.T) {
-	if err := runFuzz(-1, 5); err != nil {
+	if err := runFuzz(-1, 5, "", 0); err != nil {
 		t.Fatalf("runFuzz(-1, 5) = %v", err)
 	}
-	if err := runFuzz(3, 0); err != nil {
+	if err := runFuzz(3, 0, "", 0); err != nil {
 		t.Fatalf("runFuzz(3, 0) = %v", err)
 	}
 }

@@ -59,6 +59,12 @@ func (s Sim) Name() string {
 	return fmt.Sprintf("sim-%s-%d", eng, s.Cores)
 }
 
+// Composition reports the core count the executor simulates on.  The
+// fuzz harness uses it (via an anonymous interface, so wrappers that
+// embed Sim stay detectable) to replay divergences with the flight
+// recorder armed on the same composition.
+func (s Sim) Composition() int { return s.Cores }
+
 // Run implements Executor.
 func (s Sim) Run(p *prog.Program, in Input) (State, error) {
 	cores, err := compose.Rect(0, 0, s.Cores)

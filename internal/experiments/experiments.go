@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/conv"
 	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/kernels"
 	"github.com/clp-sim/tflex/internal/obs"
 	"github.com/clp-sim/tflex/internal/power"
@@ -89,6 +91,9 @@ type Suite struct {
 
 	engine *runner.Engine
 	obs    *obs.Server // nil unless SetObserver armed live observability
+
+	domMu sync.Mutex // guards dom; runner jobs record concurrently
+	dom   domainAgg
 
 	tflex  runner.Store[sizedKey, RunResult] // kernel × cores
 	tripsR runner.Store[string, RunResult]
@@ -257,6 +262,60 @@ func (s Summary) String() string {
 		s.JobsRun, s.CacheHits, s.SimCycles, s.Wall.Seconds(), s.CPUTime.Seconds())
 }
 
+// domainAgg accumulates per-domain scheduler statistics across every
+// chip the suite has run — the raw material of the Parallel line.
+type domainAgg struct {
+	chips        int
+	domains      int
+	windows      uint64
+	events       uint64
+	barrierWait  uint64
+	sharedGrants uint64
+	sharedWait   uint64
+}
+
+// recordDomains folds one finished chip's domain statistics into the
+// suite aggregate.  Runner jobs call it concurrently.
+func (s *Suite) recordDomains(ds []flight.DomainStats) {
+	s.domMu.Lock()
+	defer s.domMu.Unlock()
+	s.dom.chips++
+	s.dom.domains += len(ds)
+	for _, d := range ds {
+		s.dom.windows += d.Windows
+		s.dom.events += d.Events
+		s.dom.barrierWait += d.BarrierWait
+		s.dom.sharedGrants += d.SharedGrants
+		s.dom.sharedWait += d.SharedWait
+	}
+}
+
+// Parallel renders the suite's parallel-efficiency line: how well the
+// job pool filled the machine (in-job time over wall time) and what the
+// event-domain schedulers did underneath.  Single-domain chips run the
+// exact serial engine and open no lockstep windows, so the domain half
+// degrades to a chip count when no windows were crossed.
+func (s *Suite) Parallel() string {
+	es := s.engine.Summary()
+	s.domMu.Lock()
+	a := s.dom
+	s.domMu.Unlock()
+	line := "parallel: "
+	if es.Wall > 0 {
+		line += fmt.Sprintf("%.2fx job concurrency (in-job %.2fs / wall %.2fs)",
+			es.CPUTime.Seconds()/es.Wall.Seconds(), es.CPUTime.Seconds(), es.Wall.Seconds())
+	} else {
+		line += "no jobs run"
+	}
+	if a.windows > 0 {
+		line += fmt.Sprintf("; domains: %d across %d chips, %d lockstep windows, avg barrier slack %.1f cycles/window, shared grants %d (waits %d)",
+			a.domains, a.chips, a.windows, float64(a.barrierWait)/float64(a.windows), a.sharedGrants, a.sharedWait)
+	} else {
+		line += fmt.Sprintf("; domains: %d single-domain chips (serial engine, no lockstep windows)", a.chips)
+	}
+	return line
+}
+
 // Summary reports cumulative runner and cache activity.
 func (s *Suite) Summary() Summary {
 	es := s.engine.Summary()
@@ -334,6 +393,7 @@ func (s *Suite) runInstance(inst *kernels.Instance, chip *sim.Chip, procCores co
 		samp.SetNotify(func(cycle uint64, names []string, row []float64) {
 			o.PublishSample(cycle, names, row)
 			o.PublishMetrics(reg.Snapshot())
+			o.PublishDomains(chip.DomainStats())
 		})
 	}
 	proc, err := chip.AddProc(procCores, inst.Prog)
@@ -344,8 +404,10 @@ func (s *Suite) runInstance(inst *kernels.Instance, chip *sim.Chip, procCores co
 	if err := chip.Run(MaxCycles); err != nil {
 		return RunResult{}, err
 	}
+	s.recordDomains(chip.DomainStats())
 	if s.obs != nil {
 		s.obs.PublishMetrics(reg.Snapshot())
+		s.obs.PublishDomains(chip.DomainStats())
 	}
 	if err := inst.Check(&proc.Regs, proc.Mem); err != nil {
 		return RunResult{}, fmt.Errorf("output validation: %w", err)

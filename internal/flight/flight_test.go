@@ -1,0 +1,131 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestRecIs32Bytes(t *testing.T) {
+	if s := unsafe.Sizeof(Rec{}); s != 32 {
+		t.Fatalf("Rec is %d bytes, want 32", s)
+	}
+}
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Add(KFetch, 1, 0, 0, 2, 3) // must not panic
+	if r.Len() != 0 || r.Written() != 0 {
+		t.Fatalf("nil ring reports Len=%d Written=%d", r.Len(), r.Written())
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	rec := NewRecorder(64)
+	r := rec.NewRing(3)
+	for i := 0; i < 100; i++ {
+		r.Add(KCommit, uint64(i), 1, 2, uint64(i), 0)
+	}
+	if r.Len() != 64 || r.Written() != 100 {
+		t.Fatalf("Len=%d Written=%d, want 64/100", r.Len(), r.Written())
+	}
+	d := rec.Dump()
+	if len(d.Rings) != 1 {
+		t.Fatalf("dump has %d rings, want 1", len(d.Rings))
+	}
+	recs := d.Rings[0].Recs
+	if len(recs) != 64 {
+		t.Fatalf("dump holds %d records, want 64", len(recs))
+	}
+	// Oldest surviving record is write #36, newest #99, in order.
+	for i, rc := range recs {
+		if want := uint64(36 + i); rc.Cycle != want {
+			t.Fatalf("record %d has cycle %d, want %d", i, rc.Cycle, want)
+		}
+		if rc.Dom != 3 || rc.Proc != 1 || rc.Core != 2 {
+			t.Fatalf("record %d misattributed: %+v", i, rc)
+		}
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	rec := NewRecorder(0)
+	r0 := rec.NewRing(0)
+	r1 := rec.NewRing(1)
+	r0.Add(KWindowOpen, 0, -1, -1, 16, 0)
+	r0.Add(KFetch, 3, 0, 2, 0x80, 7)
+	r0.Add(KWindowClose, 15, -1, -1, 16, 2)
+	r1.Add(KSharedEnter, 9, -1, -1, 1, 0)
+	d := rec.Dump()
+
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ParseDump(&buf)
+	if err != nil {
+		t.Fatalf("ParseDump: %v", err)
+	}
+	a, _ := json.Marshal(d)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", a, b)
+	}
+}
+
+func TestParseDumpRejectsBadKind(t *testing.T) {
+	src := `{"events":64,"rings":[{"dom":0,"written":1,"records":[{"cycle":1,"kind":200}]}]}`
+	if _, err := ParseDump(strings.NewReader(src)); err == nil {
+		t.Fatal("ParseDump accepted an unknown record kind")
+	}
+}
+
+func TestWriteTextAndChrome(t *testing.T) {
+	rec := NewRecorder(0)
+	r := rec.NewRing(2)
+	r.Add(KWindowOpen, 0, -1, -1, 16, 0)
+	r.Add(KCommit, 5, 0, 1, 42, 9)
+	r.Add(KWindowClose, 12, -1, -1, 16, 1)
+	d := rec.Dump()
+
+	var text bytes.Buffer
+	if err := d.WriteText(&text); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{"ring dom=2", "commit", "window.open"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text dump lacks %q:\n%s", want, text.String())
+		}
+	}
+
+	var chrome bytes.Buffer
+	if err := d.WriteChrome(&chrome); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome dump is not JSON: %v", err)
+	}
+	// The open/close pair folds into one X span plus the commit instant.
+	if len(trace.TraceEvents) != 2 {
+		t.Fatalf("chrome dump has %d events, want 2: %s", len(trace.TraceEvents), chrome.String())
+	}
+}
+
+func TestRecordsFilter(t *testing.T) {
+	rec := NewRecorder(0)
+	r := rec.NewRing(0)
+	r.Add(KFetch, 1, 0, 0, 0, 0)
+	r.Add(KStall, 2, -1, -1, 16, 99)
+	d := rec.Dump()
+	if got := d.Records(KStall); len(got) != 1 || got[0].B != 99 {
+		t.Fatalf("Records(KStall) = %+v", got)
+	}
+	if got := d.Records(); len(got) != 2 {
+		t.Fatalf("Records() = %d records, want 2", len(got))
+	}
+}

@@ -54,6 +54,11 @@ type Divergence struct {
 	Err error
 	// Diff summarizes the state mismatch ("" when Err is the story).
 	Diff string
+	// Cores is the diverging executor's composition when it is a timing
+	// simulation (0 otherwise).  DumpTFA uses it to replay the
+	// divergence with the flight recorder armed and attach the ring
+	// dump alongside the reproducer.
+	Cores int
 }
 
 // Report renders the divergence with enough context to reproduce it:
@@ -87,13 +92,23 @@ func (h *Harness) Check(s *edgegen.Spec) (*Divergence, error) {
 	for _, ex := range h.Execs[1:] {
 		st, err := ex.Run(p, in)
 		if err != nil {
-			return &Divergence{Spec: s, Exec: ex.Name(), Ref: ref, Err: err}, nil
+			return &Divergence{Spec: s, Exec: ex.Name(), Ref: ref, Err: err, Cores: simCores(ex)}, nil
 		}
 		if d := st.Diff(ref); d != "" {
-			return &Divergence{Spec: s, Exec: ex.Name(), Ref: ref, Got: st, Diff: d}, nil
+			return &Divergence{Spec: s, Exec: ex.Name(), Ref: ref, Got: st, Diff: d, Cores: simCores(ex)}, nil
 		}
 	}
 	return nil, nil
+}
+
+// simCores reports the composition of a timing-simulator executor, or 0
+// for non-sim executors.  Matched structurally so test wrappers that
+// embed arch.Sim keep their composition visible.
+func simCores(ex arch.Executor) int {
+	if s, ok := ex.(interface{ Composition() int }); ok {
+		return s.Composition()
+	}
+	return 0
 }
 
 // CheckSeed generates and checks one seed.

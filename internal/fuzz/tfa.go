@@ -59,6 +59,10 @@ func WriteTFA(w io.Writer, d *Divergence) error {
 }
 
 // DumpTFA writes the reproducer to a temp file and returns its path.
+// When the diverging executor is a timing simulation (Cores > 0), the
+// divergence is replayed with the flight recorder armed and the ring
+// dump lands alongside as <path>.flight.json — the last scheduler and
+// pipeline events per domain leading up to the disagreement.
 func DumpTFA(d *Divergence) (string, error) {
 	f, err := os.CreateTemp("", fmt.Sprintf("tflex-fuzz-seed%d-*.tfa", d.Spec.Seed))
 	if err != nil {
@@ -67,6 +71,11 @@ func DumpTFA(d *Divergence) (string, error) {
 	defer f.Close()
 	if err := WriteTFA(f, d); err != nil {
 		return "", err
+	}
+	if d.Cores > 0 {
+		if err := writeFlightSidecar(f.Name(), d); err != nil {
+			return f.Name(), err
+		}
 	}
 	return f.Name(), nil
 }

@@ -52,9 +52,14 @@ func inScope(relPath string, scope []string) bool {
 }
 
 // instrumentationPackage reports whether a package path is part of the
-// instrumentation layer the contract covers.
+// instrumentation layer the contract covers.  The flight recorder is
+// instrumentation too: its rings are concrete pointers that stay nil
+// until EnableFlight arms them, and the hot paths must pay only nil
+// checks while disabled.
 func instrumentationPackage(path string) bool {
-	return strings.HasSuffix(path, "internal/telemetry") || strings.HasSuffix(path, "internal/critpath")
+	return strings.HasSuffix(path, "internal/telemetry") ||
+		strings.HasSuffix(path, "internal/critpath") ||
+		strings.HasSuffix(path, "internal/flight")
 }
 
 func runTelemetryCost(m *Module, pkg *Package, report ReportFunc) {

@@ -1,0 +1,20 @@
+// Fixture flight-recorder package: rings follow the same discipline as
+// telemetry — Add is nil-receiver safe, Seal is not, NewRing
+// constructs a non-nil ring.
+package flight
+
+type Ring struct{ n uint64 }
+
+// Add is safe on nil.
+func (r *Ring) Add(v uint64) {
+	if r == nil {
+		return
+	}
+	r.n += v
+}
+
+// Seal is NOT nil-safe: callers must guard.
+func (r *Ring) Seal() { r.n = ^uint64(0) }
+
+// NewRing returns a fresh, non-nil ring.
+func NewRing() *Ring { return &Ring{} }

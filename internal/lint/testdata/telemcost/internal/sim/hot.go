@@ -3,11 +3,15 @@
 // nil-safe methods; interface-typed instrumentation is banned outright.
 package sim
 
-import "example.com/fix/internal/telemetry"
+import (
+	"example.com/fix/internal/flight"
+	"example.com/fix/internal/telemetry"
+)
 
 type Chip struct {
 	hist  *telemetry.Histogram
 	probe telemetry.Probe // want "instrumentation interface"
+	ring  *flight.Ring
 }
 
 func (c *Chip) hot(v uint64) {
@@ -36,4 +40,17 @@ func (c *Chip) initGuard(v uint64) {
 	if h := c.hist; h != nil {
 		h.Add(v) // ok: guarded through the if-init binding
 	}
+}
+
+func (c *Chip) flightHot(v uint64) {
+	c.ring.Add(v) // ok: Add is nil-receiver safe
+	c.ring.Seal() // want "unguarded call c.ring.Seal"
+	if c.ring != nil {
+		c.ring.Seal() // ok: guarded by the enclosing if
+	}
+}
+
+func (c *Chip) flightFresh() {
+	c.ring = flight.NewRing()
+	c.ring.Seal() // ok: freshly constructed, provably non-nil
 }

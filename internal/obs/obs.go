@@ -7,6 +7,8 @@
 //	/metrics      latest telemetry registry snapshot (JSON)
 //	/critpath     rolling critical-path attribution aggregate (JSON)
 //	/events       SSE stream of cycle-sampler rows
+//	/domains      latest per-domain scheduler statistics (JSON)
+//	/flight       on-demand flight-recorder ring dump (JSON)
 //	/debug/pprof  the standard Go profiling endpoints
 //
 // Sharing model: the simulator's counter views are plain fields written
@@ -28,8 +30,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 
 	"github.com/clp-sim/tflex/internal/critpath"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/telemetry"
 )
 
@@ -42,6 +46,10 @@ type Server struct {
 	nextSub int
 	ln      net.Listener
 	srv     *http.Server
+
+	domains    []flight.DomainStats
+	flightDump *flight.Dump
+	flightWant atomic.Bool
 
 	roll critpath.Rolling
 }
@@ -98,6 +106,33 @@ func (s *Server) PublishSample(cycle uint64, names []string, row []float64) {
 	s.mu.Unlock()
 }
 
+// PublishDomains stores the per-domain scheduler statistics served by
+// /domains.  Like PublishMetrics, call it only from the goroutine that
+// owns the domains (the sampler notify hook fires at a quiescent point,
+// or after the run) — the slice is owned by the caller until published,
+// shared read-only after.
+func (s *Server) PublishDomains(ds []flight.DomainStats) {
+	s.mu.Lock()
+	s.domains = ds
+	s.mu.Unlock()
+}
+
+// FlightWanted reports whether an HTTP client has requested a flight
+// dump since the last PublishFlight.  The sim side polls it from its
+// notify hook and, when set, captures a dump at that quiescent point —
+// the handler never touches live rings.
+func (s *Server) FlightWanted() bool { return s.flightWant.Load() }
+
+// PublishFlight stores the ring dump served by /flight and clears the
+// pending request flag.  Call from the goroutine that owns the rings,
+// at a quiescent point.
+func (s *Server) PublishFlight(d *flight.Dump) {
+	s.mu.Lock()
+	s.flightDump = d
+	s.mu.Unlock()
+	s.flightWant.Store(false)
+}
+
 func (s *Server) subscribe() (int, chan []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -125,6 +160,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/critpath", s.handleCritPath)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/domains", s.handleDomains)
+	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -143,6 +180,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /metrics       latest telemetry snapshot (JSON)\n"+
 		"  /critpath      rolling critical-path attribution (JSON)\n"+
 		"  /events        SSE stream of sampler rows\n"+
+		"  /domains       per-domain scheduler statistics (JSON)\n"+
+		"  /flight        flight-recorder ring dump (JSON)\n"+
 		"  /debug/pprof/  Go profiling endpoints\n")
 }
 
@@ -157,6 +196,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(snap) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ds := s.domains
+	s.mu.Unlock()
+	if ds == nil {
+		ds = []flight.DomainStats{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(ds) //nolint:errcheck // client went away
+}
+
+// handleFlight serves the last published ring dump and flags a fresh
+// capture for the sim side's next quiescent point.  The first request
+// of a run typically sees {"pending":true}; scrape twice (or poll) to
+// get a dump taken after the flag was raised.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	s.flightWant.Store(true)
+	s.mu.Lock()
+	d := s.flightDump
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if d == nil {
+		fmt.Fprint(w, "{\"pending\":true}\n")
+		return
+	}
+	d.WriteJSON(w) //nolint:errcheck // client went away
 }
 
 func (s *Server) handleCritPath(w http.ResponseWriter, _ *http.Request) {

@@ -3,6 +3,7 @@ package sim
 import (
 	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
 	"github.com/clp-sim/tflex/internal/predictor"
@@ -104,6 +105,7 @@ type IFB struct {
 	phase          phase
 	deallocDone    bool
 	deallocAt      uint64
+	frIssued       bool // first-issue flight record written (one per block)
 
 	// Fetch timing records (Figure 9a).  tFetchStart is the cycle the
 	// fetch pipeline began (prediction + hand-off receipt); the phase
@@ -321,6 +323,10 @@ func (p *Proc) maybeIssue(b *IFB, idx int) {
 	st.status = stIssued
 	coreIdx := b.instCoreIdx(idx)
 	issueAt := p.chip.issueAt(p.phys(coreIdx)).reserve(readyAt, in.Op.IsFP())
+	if p.fr != nil && !b.frIssued {
+		b.frIssued = true
+		p.fr.Add(flight.KIssue, issueAt, int16(p.id), int16(p.phys(coreIdx)), b.seq, 0)
+	}
 	if b.cp != nil {
 		ci := b.cp.InstAt(idx)
 		ci.AvailAt, ci.ReadyAt, ci.IssueAt, ci.Issued = st.availAt, readyAt, issueAt, true

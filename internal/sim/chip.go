@@ -3,10 +3,12 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"io"
 
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
 	"github.com/clp-sim/tflex/internal/noc"
@@ -64,6 +66,11 @@ type Chip struct {
 	// a concurrency-safe rolling aggregate for live observability.
 	critEnabled bool
 	critSink    *critpath.Rolling
+
+	// Flight recorder (see flight.go): nil/unset until EnableFlight.
+	// Domains carry the ring pointers; disabled cost is nil checks only.
+	flightRec  *flight.Recorder
+	flightSink io.Writer
 }
 
 // OnProcHalt installs a hook invoked (inside the event loop) whenever a
@@ -246,8 +253,31 @@ func (c *Chip) AddProcShared(cores compose.Processor, program *prog.Program, fro
 // Run executes events until every processor halts, the cycle limit is
 // exceeded, or the model faults.  The optimized engine runs the
 // partitioned domain loop (domain.go); Options.Reference runs the
-// original single-queue loop below.
+// original single-queue loop in run.  With the flight recorder armed
+// (EnableFlight) and a sink set (SetFlightSink), a panicking or
+// failing run writes a post-mortem text dump of every ring on the way
+// out — the panic is re-raised unchanged.  The recover wrapper covers
+// the engine goroutine; a panic on a parallel worker goroutine is
+// fatal before any recover can run, Go offers no cross-goroutine
+// recovery.
 func (c *Chip) Run(maxCycles uint64) error {
+	if c.flightRec == nil {
+		return c.run(maxCycles)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.flightPostMortem(fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
+	err := c.run(maxCycles)
+	if err != nil {
+		c.flightPostMortem(err.Error())
+	}
+	return err
+}
+
+func (c *Chip) run(maxCycles uint64) error {
 	if !c.Opts.Reference {
 		return c.runOptimized(maxCycles)
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/noc"
+	"github.com/clp-sim/tflex/internal/telemetry"
 )
 
 // Event domains: the partitioned cycle engine.
@@ -75,6 +77,30 @@ type domain struct {
 	granted bool
 	retired bool
 	spawned bool
+
+	// flight is the domain's flight-recorder ring; nil unless
+	// Chip.EnableFlight armed the recorder, so the disabled cost is the
+	// nil check inside flight.Ring.Add.  Single-writer: the goroutine
+	// advancing the domain, or the boundary/leader goroutine while
+	// every worker is quiescent.
+	flight *flight.Ring
+
+	// Scheduler observability counters, always on in the style of
+	// Stats (plain increments, no pointers).  All are derived from the
+	// merged event order — never wall time — so they are deterministic
+	// at any ParallelDomains/GOMAXPROCS; sharedGrants/sharedWait stay
+	// zero outside the parallel scheduler, where no arbiter runs.
+	// mergeDomains folds the absorbed domain's counters into the
+	// survivor.
+	windows      uint64 // lockstep windows completed (boundary-counted)
+	events       uint64 // events executed
+	winEvents    uint64 // events executed in the current window
+	barrierWait  uint64 // cumulative end-of-window slack cycles (≤ W each)
+	sharedGrants uint64 // shared L2/DRAM sections granted by the arbiter
+	sharedWait   uint64 // grants to other domains observed while parked
+	invalsSeen   uint64 // deferred cross-domain invals delivered
+
+	hBarrier *telemetry.Histogram // domain<d>.barrier.wait_cycles; nil-safe
 }
 
 // inval is one deferred L1 invalidation.
@@ -111,15 +137,38 @@ func (d *domain) fail(format string, args ...any) {
 // dispatched events park on the window arbiter.
 func (d *domain) runWindow(limit uint64) {
 	c := d.chip
+	stall := c.Opts.stallEvents()
+	d.flight.Add(flight.KWindowOpen, d.now, -1, -1, limit, 0)
+	var n uint64
 	for d.err == nil {
 		at, ok := d.cal.nextAt()
 		if !ok || at >= limit {
-			return
+			break
 		}
 		e := d.cal.popMin()
 		d.now = e.at
+		n++
+		if n >= stall {
+			d.stall(n, limit)
+			break
+		}
 		c.dispatch(&e, e.at)
 	}
+	d.winEvents = n
+	d.events += n
+	d.flight.Add(flight.KWindowClose, d.now, -1, -1, limit, n)
+}
+
+// stall fails the run with the watchdog diagnostic: the domain executed
+// count events without its window (or cycle) advancing.  The engine
+// stops at the next synchronization point instead of hanging; the
+// flight rings (when armed) keep the event history leading up to the
+// stall, and Chip.Run writes a post-mortem text dump to the flight
+// sink on the way out.
+func (d *domain) stall(count, limit uint64) {
+	d.flight.Add(flight.KStall, d.now, -1, -1, limit, count)
+	d.fail("stall watchdog: domain %d executed %d events without advancing past cycle %d (limit %d events; flight rings dumped)",
+		d.id, count, d.now, d.chip.Opts.stallEvents())
 }
 
 // emptyBox is the bounding-box sentinel for a domain with no cores.
@@ -169,6 +218,8 @@ func (d *domain) applyInbox() {
 	c := d.chip
 	for i := range d.inbox {
 		msg := &d.inbox[i]
+		d.invalsSeen++
+		d.flight.Add(flight.KInval, d.now, -1, int16(msg.core), msg.addr, msg.seq)
 		if cache := c.l1d[msg.core]; cache != nil {
 			if found, _ := cache.Invalidate(msg.addr); found {
 				c.L2.Stats.Invals++
@@ -176,6 +227,52 @@ func (d *domain) applyInbox() {
 		}
 	}
 	d.inbox = d.inbox[:0]
+}
+
+// stats snapshots the domain's scheduler observability counters.  Call
+// from a quiescent point (boundary, post-run) like every other
+// cross-domain read.
+func (d *domain) stats() flight.DomainStats {
+	cores := 0
+	for _, p := range d.procs {
+		cores += len(p.cores)
+	}
+	return flight.DomainStats{
+		Dom:          d.id,
+		Procs:        len(d.procs),
+		Cores:        cores,
+		Now:          d.now,
+		Windows:      d.windows,
+		Events:       d.events,
+		BarrierWait:  d.barrierWait,
+		SharedGrants: d.sharedGrants,
+		SharedWait:   d.sharedWait,
+		Invals:       d.invalsSeen,
+		InboxDepth:   len(d.inbox),
+		RingRecords:  d.flight.Written(),
+	}
+}
+
+// register installs the domain's telemetry views: window occupancy,
+// barrier-wait histogram, shared-section arbiter counters and inbox
+// depth.  A domain merged away keeps its entries with the counters
+// folded into (and future activity accounted to) the surviving domain.
+func (d *domain) register(r *telemetry.Registry) {
+	prefix := fmt.Sprintf("domain%d", d.id)
+	r.CounterView(prefix+".window.count", &d.windows)
+	r.CounterView(prefix+".window.events", &d.events)
+	r.CounterView(prefix+".barrier.wait_total", &d.barrierWait)
+	r.CounterView(prefix+".shared.grants", &d.sharedGrants)
+	r.CounterView(prefix+".shared.wait", &d.sharedWait)
+	r.CounterView(prefix+".inval.delivered", &d.invalsSeen)
+	r.Gauge(prefix+".inbox.depth", func() float64 { return float64(len(d.inbox)) })
+	r.Gauge(prefix+".window.occupancy", func() float64 {
+		if d.windows == 0 {
+			return 0
+		}
+		return float64(d.events) / float64(d.windows)
+	})
+	d.hBarrier = r.Histogram(prefix + ".barrier.wait_cycles")
 }
 
 // bboxOfCores returns the inclusive mesh bounding box of a core set.
@@ -200,12 +297,19 @@ func (c *Chip) bboxOfCores(cores []int) (x0, y0, x1, y1 int) {
 	return
 }
 
-// newDomain appends a fresh, empty domain.
+// newDomain appends a fresh, empty domain, arming its flight ring and
+// telemetry views when the chip has them.
 func (c *Chip) newDomain() *domain {
 	d := &domain{id: c.nextDomainID, chip: c, x0: -1}
 	c.nextDomainID++
 	d.opn = c.Opn.NewPort(nil)
 	d.ctl = c.Ctl.NewPort(nil)
+	if c.flightRec != nil {
+		d.flight = c.flightRec.NewRing(d.id)
+	}
+	if c.tel != nil {
+		d.register(c.tel)
+	}
 	c.domains = append(c.domains, d)
 	return d
 }
@@ -245,6 +349,8 @@ func (c *Chip) placeProc(p *Proc, startAt uint64) {
 // adopt attaches a processor to the domain and seeds its fetch engine.
 func (d *domain) adopt(p *Proc, x0, y0, x1, y1 int, startAt uint64) {
 	p.dom = d
+	p.fr = d.flight
+	d.flight.Add(flight.KCompose, startAt, int16(p.id), int16(p.cores[0]), uint64(p.id), uint64(len(p.cores)))
 	d.procs = append(d.procs, p)
 	if !d.ownsMem(p.Mem) {
 		d.mems = append(d.mems, p.Mem)
@@ -271,10 +377,22 @@ func (c *Chip) mergeDomains(a, b *domain) {
 		e := b.cal.popMin()
 		a.scheduleEv(e.at, e)
 	}
+	a.flight.Add(flight.KCompose, a.now, -1, -1, uint64(a.id), uint64(b.id))
 	for _, p := range b.procs {
 		p.dom = a
+		p.fr = a.flight
 		a.procs = append(a.procs, p)
 	}
+	// Fold the absorbed domain's scheduler counters into the survivor so
+	// chip-wide totals are conserved across merges.
+	a.events += b.events
+	a.windows += b.windows
+	a.barrierWait += b.barrierWait
+	a.sharedGrants += b.sharedGrants
+	a.sharedWait += b.sharedWait
+	a.invalsSeen += b.invalsSeen
+	b.events, b.windows, b.barrierWait = 0, 0, 0
+	b.sharedGrants, b.sharedWait, b.invalsSeen = 0, 0, 0
 	for _, m := range b.mems {
 		if !a.ownsMem(m) {
 			a.mems = append(a.mems, m)
@@ -374,7 +492,23 @@ func (c *Chip) drainShadows() {
 // placed and begin fetching at the boundary cycle.  Identical in merged
 // and parallel modes — mode parity depends on it.
 func (c *Chip) windowBoundary(boundaryCycle uint64) {
+	w := c.Opts.domainWindow()
 	for _, d := range c.domains {
+		// Barrier accounting: the end-of-window slack (cycles between the
+		// domain's last executed event and the boundary, clamped to the
+		// window width) — the simulated-time analogue of barrier wait,
+		// identical in merged and parallel modes.
+		d.windows++
+		slack := uint64(0)
+		if d.now < boundaryCycle {
+			slack = boundaryCycle - d.now
+			if slack > w {
+				slack = w
+			}
+		}
+		d.barrierWait += slack
+		d.hBarrier.Observe(slack)
+		d.flight.Add(flight.KBarrierRelease, boundaryCycle, -1, -1, boundaryCycle, slack)
 		d.applyInbox()
 	}
 	c.drainShadows()
@@ -421,6 +555,8 @@ func (c *Chip) takeBoundarySamples(m uint64) {
 // re-forming domains.
 func (c *Chip) runSingle(d *domain, maxCycles uint64) {
 	c.curDom = d
+	stall := c.Opts.stallEvents()
+	watchAt, watchN := ^uint64(0), uint64(0)
 	for c.err == nil && d.err == nil {
 		if d.cal.empty() {
 			break
@@ -432,6 +568,17 @@ func (c *Chip) runSingle(d *domain, maxCycles uint64) {
 		}
 		c.now = e.at
 		d.now = e.at
+		d.events++
+		// Stall watchdog, cycle-granular here (no windows): too many
+		// events without the clock advancing fails the run.
+		if e.at != watchAt {
+			watchAt, watchN = e.at, 0
+		}
+		watchN++
+		if watchN >= stall {
+			d.stall(watchN, e.at)
+			break
+		}
 		if c.now >= c.sampleAt {
 			c.takeSamples()
 		}
@@ -469,6 +616,11 @@ func (c *Chip) runMerged(maxCycles uint64) {
 			return
 		}
 		limit := c.windowLimitFor(m, maxCycles)
+		stall := c.Opts.stallEvents()
+		for _, d := range c.domains {
+			d.winEvents = 0
+			d.flight.Add(flight.KWindowOpen, d.now, -1, -1, limit, 0)
+		}
 		for c.err == nil {
 			var best *domain
 			var bat uint64
@@ -487,10 +639,19 @@ func (c *Chip) runMerged(maxCycles uint64) {
 			e := best.cal.popMin()
 			best.now = e.at
 			c.now = e.at
+			best.winEvents++
+			if best.winEvents >= stall {
+				best.stall(best.winEvents, limit)
+				break
+			}
 			c.curDom = best
 			c.dispatch(&e, e.at)
 		}
 		c.curDom = nil
+		for _, d := range c.domains {
+			d.events += d.winEvents
+			d.flight.Add(flight.KWindowClose, d.now, -1, -1, limit, d.winEvents)
+		}
 		c.collectErrors()
 		if c.err != nil {
 			return

@@ -209,6 +209,7 @@ func resetIFB(b *IFB, p *Proc, m *blockMeta, seq uint64, hist predictor.History)
 	b.phase = phaseExecuting
 	b.deallocDone = false
 	b.deallocAt = 0
+	b.frIssued = false
 
 	b.tFetchStart = 0
 	b.constLat = 0

@@ -66,6 +66,15 @@ type Options struct {
 	// Values < 1 mean the default.
 	DomainWindow uint64
 
+	// StallEvents is the stall-watchdog budget: the maximum number of
+	// events one domain may execute without its lockstep window (or, in
+	// single-domain runs, the current cycle) advancing before the run
+	// fails with a diagnostic instead of hanging.  The watchdog counts
+	// events, not wall time, so it is deterministic like everything
+	// else in the engine.  Values < 1 mean the default (1<<20 events —
+	// orders of magnitude above what any legal window can execute).
+	StallEvents uint64
+
 	// Reference disables the engine's hot-path optimizations — the
 	// container/heap event queue replaces the calendar queue, in-flight
 	// blocks are never pooled, and block metadata is re-decoded on every
@@ -84,6 +93,17 @@ func DefaultOptions() Options {
 
 // defaultDomainWindow is the default lockstep window width (cycles).
 const defaultDomainWindow = 16
+
+// defaultStallEvents is the default stall-watchdog budget (events per
+// window without progress).
+const defaultStallEvents = 1 << 20
+
+func (o *Options) stallEvents() uint64 {
+	if o.StallEvents >= 1 {
+		return o.StallEvents
+	}
+	return defaultStallEvents
+}
 
 func (o *Options) domainWindow() uint64 {
 	if o.DomainWindow >= 1 {

@@ -1,6 +1,10 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/clp-sim/tflex/internal/flight"
+)
 
 // The parallel window engine: one persistent worker goroutine per
 // domain, a monitor (mutex + condvar) coordinating lockstep windows,
@@ -109,6 +113,7 @@ func (pr *parRun) worker(d *domain) {
 			pr.running++
 			pr.mu.Unlock()
 			d.runWindow(limit)
+			d.flight.Add(flight.KBarrierArrive, d.now, -1, -1, limit, 0)
 			pr.mu.Lock()
 			pr.running--
 			pr.arrived++
@@ -135,11 +140,16 @@ func (pr *parRun) enter(d *domain) {
 		pr.cond.Wait()
 	}
 	pr.mu.Unlock()
+	// The worker owns d again: count the grant and record it.  The grant
+	// sequence replays the merged order, so the counter is deterministic.
+	d.sharedGrants++
+	d.flight.Add(flight.KSharedEnter, d.now, -1, -1, d.sharedGrants, 0)
 }
 
 // exit releases the arbiter after a shared section; the domain resumes
 // its window.
 func (pr *parRun) exit(d *domain) {
+	d.flight.Add(flight.KSharedExit, d.now, -1, -1, d.sharedGrants, 0)
 	pr.mu.Lock()
 	pr.servicing = nil
 	pr.c.curDom = nil
@@ -160,6 +170,14 @@ func (pr *parRun) tryAdvance() {
 	}
 	if len(pr.parked) > 0 {
 		d := pr.popParked()
+		// Every other parked domain observes this grant while waiting —
+		// the shared-section contention signal.  Deterministic: grants
+		// happen only at full quiescence, where the parked set is a
+		// function of the merged event order.  Writing under the monitor
+		// is safe; the owners are blocked in enter's cond.Wait.
+		for _, o := range pr.parked {
+			o.sharedWait++
+		}
 		pr.servicing = d
 		pr.c.curDom = d
 		if d.now > pr.c.now {

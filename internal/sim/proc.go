@@ -6,6 +6,7 @@ import (
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/mem"
 	"github.com/clp-sim/tflex/internal/predictor"
@@ -17,6 +18,11 @@ import (
 type Proc struct {
 	chip *Chip
 	dom  *domain // owning event domain; nil under Options.Reference
+	// fr is the owning domain's flight-recorder ring; nil unless
+	// Chip.EnableFlight armed the recorder (and always nil under
+	// Reference, which has no domains).  Add is nil-receiver safe, so
+	// every record site costs a nil check when disabled.
+	fr   *flight.Ring
 	id   int
 	asid uint64
 
@@ -357,6 +363,7 @@ func (p *Proc) fetchBlock() {
 		p.fetch.valid = false
 	}
 	b.tFetchStart = t0
+	p.fr.Add(flight.KFetch, t0, int16(p.id), int16(p.phys(owner)), addr, b.seq)
 
 	// I-cache tag check at the owner; misses fill from the L2.
 	cmdStart := t0 + constLat
@@ -405,6 +412,7 @@ func (p *Proc) fetchBlock() {
 		p.scheduleEv(av, event{kind: evDispatch, b: b, gen: b.gen, idx: id32})
 	}
 	b.dispatchLat = dispatchLast - bcastLast
+	p.fr.Add(flight.KDispatch, dispatchLast, int16(p.id), int16(p.phys(owner)), b.seq, b.dispatchLat)
 
 	// Register reads are dispatched to their register-bank cores.
 	for ri := range blk.Reads {
@@ -440,6 +448,7 @@ func (p *Proc) flushFrom(seq uint64, restartAddr uint64, hist predictor.History,
 		}
 		b.dead = true
 		p.Stats.BlocksFlushed++
+		p.fr.Add(flight.KFlush, t, int16(p.id), -1, b.seq, restartAddr)
 		p.emitBlockEvent(b, t, true)
 		p.window = p.window[:i]
 		p.releaseIFB(b)
@@ -732,6 +741,7 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 	}
 	p.Stats.BlocksCommitted++
 	p.Stats.InstsCommitted += uint64(b.useful)
+	p.fr.Add(flight.KCommit, t, int16(p.id), int16(p.phys(b.owner)), b.seq, t-b.tFetchStart)
 	if b.cp != nil {
 		p.finalizeCritPath(b, t)
 	}

@@ -45,6 +45,9 @@ func (c *Chip) Telemetry() *telemetry.Registry {
 	for _, p := range c.Procs {
 		p.register(c.tel)
 	}
+	for _, d := range c.domains {
+		d.register(c.tel)
+	}
 	return c.tel
 }
 

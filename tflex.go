@@ -30,11 +30,13 @@ package tflex
 
 import (
 	"fmt"
+	"os"
 
 	"github.com/clp-sim/tflex/internal/arch"
 	"github.com/clp-sim/tflex/internal/compose"
 	"github.com/clp-sim/tflex/internal/critpath"
 	"github.com/clp-sim/tflex/internal/exec"
+	"github.com/clp-sim/tflex/internal/flight"
 	"github.com/clp-sim/tflex/internal/isa"
 	"github.com/clp-sim/tflex/internal/obs"
 	"github.com/clp-sim/tflex/internal/prog"
@@ -108,8 +110,18 @@ type (
 	// CritPathCategory names one attribution category.
 	CritPathCategory = critpath.Category
 	// Observer is the live observability server: /metrics, /critpath,
-	// /events (SSE) and /debug/pprof over plain net/http.
+	// /events (SSE), /domains, /flight and /debug/pprof over plain
+	// net/http.
 	Observer = obs.Server
+
+	// FlightDump is a drained flight recorder: the surviving ring
+	// records of every event domain, renderable as text, JSON or a
+	// Chrome trace.
+	FlightDump = flight.Dump
+	// DomainStats are one event domain's scheduler statistics: windows
+	// run, events executed, barrier slack, shared-section grants/waits
+	// and deferred invalidations delivered.
+	DomainStats = flight.DomainStats
 )
 
 // NumCritPathCategories is the number of attribution categories.
@@ -241,6 +253,18 @@ type RunConfig struct {
 	// at every sample point (SampleEvery, defaulting to 4096 cycles when
 	// unset).  Start/Close the server yourself.
 	Observe *Observer
+	// Flight arms the always-on flight recorder: every domain keeps a
+	// fixed-size ring of compact scheduler/pipeline records (fetch,
+	// dispatch, issue, commit, flush, window and barrier crossings,
+	// shared-section grants, deferred invalidations, composition
+	// changes).  Result.Flight and Result.Domains report the drained
+	// rings and per-domain statistics; on a failed or panicking run the
+	// rings are dumped to stderr as a post-mortem.  Off by default —
+	// the hot paths then pay only nil checks.
+	Flight bool
+	// FlightEvents sizes each domain's ring (rounded up to a power of
+	// two; <= 0 means 4096).  Setting it implies Flight.
+	FlightEvents int
 	// ArchDigest arms collection of the unified architectural state:
 	// the committed-store stream is hashed during the run and
 	// Result.Arch reports the full ArchState afterwards.  Off by
@@ -266,6 +290,14 @@ type Result struct {
 	// CritPath is the chip-wide attribution aggregate; nil unless
 	// RunConfig.CritPath (or Observe) was set.
 	CritPath *CritPathSummary
+
+	// Flight is the end-of-run flight-recorder dump; nil unless
+	// RunConfig.Flight (or FlightEvents) was set.  RunMulti results
+	// share one chip-wide dump.
+	Flight *FlightDump
+	// Domains reports per-domain scheduler statistics; nil unless the
+	// flight recorder was armed.
+	Domains []DomainStats
 }
 
 // Run executes a program on a freshly composed processor and returns its
@@ -315,10 +347,15 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 	if cfg.CritPath || cfg.Observe != nil {
 		chip.EnableCritPath()
 	}
+	if cfg.Flight || cfg.FlightEvents > 0 {
+		chip.EnableFlight(cfg.FlightEvents)
+		chip.SetFlightSink(os.Stderr)
+	}
 	if srv := cfg.Observe; srv != nil {
 		chip.SetCritPathSink(srv.Rolling())
 		// Publishing happens on the chip's event-loop goroutine via the
-		// sampler notify hook, so handlers never read live counters.
+		// sampler notify hook — a quiescent point in every engine — so
+		// handlers never read live counters or rings.
 		obsReg := chip.Telemetry()
 		pubSamp := samp
 		if pubSamp == nil {
@@ -327,6 +364,10 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 		pubSamp.SetNotify(func(cycle uint64, names []string, row []float64) {
 			srv.PublishSample(cycle, names, row)
 			srv.PublishMetrics(obsReg.Snapshot())
+			srv.PublishDomains(chip.DomainStats())
+			if srv.FlightWanted() {
+				srv.PublishFlight(chip.FlightDump())
+			}
 		})
 	}
 	proc, err := chip.AddProc(cores, p)
@@ -353,8 +394,16 @@ func Run(p *Program, cfg RunConfig) (*Result, error) {
 		cp := chip.CritPath()
 		res.CritPath = &cp
 	}
+	if chip.FlightEnabled() {
+		res.Flight = chip.FlightDump()
+		res.Domains = chip.DomainStats()
+	}
 	if cfg.Observe != nil {
 		cfg.Observe.PublishMetrics(chip.Telemetry().Snapshot())
+		cfg.Observe.PublishDomains(chip.DomainStats())
+		if cfg.Observe.FlightWanted() && chip.FlightEnabled() {
+			cfg.Observe.PublishFlight(chip.FlightDump())
+		}
 	}
 	return res, nil
 }
@@ -379,8 +428,12 @@ type ProgramSpec struct {
 // with results bit-identical to ParallelDomains=1 at any GOMAXPROCS.
 //
 // Only the chip-wide RunConfig fields apply (MaxCycles, Options,
-// ParallelDomains); the per-program instrumentation fields are for
-// single-program runs and are ignored here.
+// ParallelDomains, Flight/FlightEvents, Observe); the per-program
+// instrumentation fields are for single-program runs and are ignored
+// here.  When the flight recorder is armed, every Result shares the
+// same chip-wide dump and domain statistics.  An Observe server gets
+// live /metrics, /domains and on-demand /flight during the run,
+// published from the chip's sampler notify hook.
 func RunMulti(specs []ProgramSpec, cfg RunConfig) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("tflex: RunMulti needs at least one program")
@@ -396,6 +449,26 @@ func RunMulti(specs []ProgramSpec, cfg RunConfig) ([]*Result, error) {
 		opts.ParallelDomains = cfg.ParallelDomains
 	}
 	chip := sim.New(opts)
+	if cfg.Flight || cfg.FlightEvents > 0 {
+		chip.EnableFlight(cfg.FlightEvents)
+		chip.SetFlightSink(os.Stderr)
+	}
+	if srv := cfg.Observe; srv != nil {
+		chip.EnableCritPath()
+		chip.SetCritPathSink(srv.Rolling())
+		// Same quiescent-point publishing contract as Run: the sampler
+		// notify hook fires at window boundaries, where every domain is
+		// parked, so DomainStats/FlightDump reads are safe.
+		obsReg := chip.Telemetry()
+		chip.SampleEvery(4096).SetNotify(func(cycle uint64, names []string, row []float64) {
+			srv.PublishSample(cycle, names, row)
+			srv.PublishMetrics(obsReg.Snapshot())
+			srv.PublishDomains(chip.DomainStats())
+			if srv.FlightWanted() {
+				srv.PublishFlight(chip.FlightDump())
+			}
+		})
+	}
 	procs := make([]*Proc, len(specs))
 	hashers := make([]*arch.StoreHasher, len(specs))
 	for i, sp := range specs {
@@ -413,8 +486,23 @@ func RunMulti(specs []ProgramSpec, cfg RunConfig) ([]*Result, error) {
 		return nil, fmt.Errorf("tflex: %w", err)
 	}
 	results := make([]*Result, len(specs))
+	var dump *FlightDump
+	var ds []DomainStats
+	if chip.FlightEnabled() {
+		dump = chip.FlightDump()
+		ds = chip.DomainStats()
+	}
 	for i, pr := range procs {
 		results[i] = newResult(pr, hashers[i])
+		results[i].Flight = dump
+		results[i].Domains = ds
+	}
+	if srv := cfg.Observe; srv != nil {
+		srv.PublishMetrics(chip.Telemetry().Snapshot())
+		srv.PublishDomains(chip.DomainStats())
+		if srv.FlightWanted() && chip.FlightEnabled() {
+			srv.PublishFlight(chip.FlightDump())
+		}
 	}
 	return results, nil
 }
