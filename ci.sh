@@ -4,8 +4,8 @@
 #   ./ci.sh
 #
 # Checks, in order: formatting, vet, build, the tflexlint static-analysis
-# suite (determinism, poolguard, telemetry-cost and event-discipline
-# invariants), the full test suite under the
+# suite (determinism, poolguard, telemetry-cost, event-discipline,
+# domainguard and hotalloc invariants), the full test suite under the
 # race detector (which also exercises the concurrent experiment runner,
 # the determinism regression in internal/experiments, and the
 # optimized-vs-reference engine differential), an explicit race gate on
@@ -31,8 +31,9 @@
 #
 #   ./ci.sh lint
 #
-# runs only the static-analysis stage (a few hundred milliseconds): all
-# four tflexlint analyzers over the whole module.
+# runs only the static-analysis stage (a few hundred milliseconds):
+# go vet plus all six tflexlint analyzers over the whole module; on
+# findings the machine-readable JSON record is attached to stderr.
 #
 #   ./ci.sh fuzz [fuzztime]
 #
@@ -46,8 +47,14 @@ set -eu
 cd "$(dirname "$0")"
 
 if [ "${1:-}" = "lint" ]; then
+    echo "== go vet =="
+    go vet ./...
     echo "== tflexlint =="
-    go run ./cmd/tflexlint ./...
+    if ! go run ./cmd/tflexlint ./...; then
+        echo "== findings (json) ==" >&2
+        go run ./cmd/tflexlint -json ./... >&2 || true
+        exit 1
+    fi
     echo "lint: clean"
     exit 0
 fi

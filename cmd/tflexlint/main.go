@@ -8,6 +8,7 @@
 //	go run ./cmd/tflexlint ./...            # whole module (the ci.sh lint stage)
 //	go run ./cmd/tflexlint ./internal/sim   # one package subtree
 //	go run ./cmd/tflexlint -analyzers determinism,poolguard ./...
+//	go run ./cmd/tflexlint -json ./...      # machine-readable findings
 //	go run ./cmd/tflexlint -list            # describe the analyzers
 //
 // Findings print as "file:line:col: [analyzer] message" and make the
@@ -15,9 +16,16 @@
 // with a `//lint:allow <analyzer> <reason>` comment on the flagged
 // line or the line above — unused directives are themselves findings,
 // so suppressions cannot go stale.
+//
+// With -json the output is one JSON array of findings, each with file,
+// line, col, analyzer, message and allow-state; audited (allowed)
+// findings are included with their reasons but do not affect the exit
+// status, so CI can attach the full record while gating only on live
+// findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +37,10 @@ import (
 
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array (audited findings included, marked allowed)")
 	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tflexlint [-list] [-analyzers a,b] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tflexlint [-list] [-json] [-analyzers a,b] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,16 +87,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(m, analyzers, filter)
-	for _, d := range diags {
+	diags := lint.RunDetailed(m, analyzers, filter)
+	live := 0
+	for i := range diags {
 		// Print module-relative paths: stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+		if !diags[i].Allowed {
+			live++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "tflexlint: %d finding(s)\n", len(diags))
+
+	if *jsonFlag {
+		type finding struct {
+			File        string `json:"file"`
+			Line        int    `json:"line"`
+			Col         int    `json:"col"`
+			Analyzer    string `json:"analyzer"`
+			Message     string `json:"message"`
+			Allowed     bool   `json:"allowed"`
+			AllowReason string `json:"allow_reason,omitempty"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+				Allowed: d.Allowed, AllowReason: d.AllowReason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "tflexlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			if !d.Allowed {
+				fmt.Println(d)
+			}
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "tflexlint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,524 @@
+package lint
+
+// The intraprocedural dataflow layer: a statement-level control-flow
+// graph per function body plus a forward must-analysis for the
+// enterShared/exitShared bracket state.  domainguard asks "is this
+// program point provably inside a shared-section bracket on every path
+// from function entry?" — a must-IN question, so the lattice is the
+// powerset {in, out} with union as the meet: a point is bracketed only
+// when every predecessor path reaches it with state {in}.
+//
+// The bracket primitives are matched by name (a call whose callee is
+// named enterShared or exitShared), which is the module's contract:
+// internal/sim funnels every arbiter acquisition through
+// (*Proc).enterShared / (*Proc).exitShared, and the fixture modules
+// use the same names.  Deferred calls are treated as no-ops for
+// bracket state (the module never defers exitShared; a defer runs at
+// returns, where the state no longer guards any access).
+//
+// Function literals get their own CFG: a closure body does not inherit
+// the bracket state of its creation site, because it runs whenever it
+// is invoked, not where it is written.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// bracket state bits; the dataflow value is a set of possible states.
+const (
+	brOut uint8 = 1 << iota // reachable with the shared section closed
+	brIn                    // reachable with the shared section open
+)
+
+// cfgNode is one atomic program point: a simple statement, or the
+// header (init/cond/tag) portion of a compound statement.  exprs holds
+// the expressions evaluated *at this node* — nested statements and
+// function literals belong to other nodes.
+type cfgNode struct {
+	exprs []ast.Expr
+	stmt  ast.Stmt // source anchor (the atomic stmt, or the compound stmt owning the header)
+	succs []int
+	in    uint8 // dataflow IN set, union over predecessors
+}
+
+// cfg is the control-flow graph of one function or function-literal
+// body.
+type cfg struct {
+	nodes []cfgNode
+	entry int // -1 for an empty body
+}
+
+// funcFlow bundles the CFGs of a function: the body plus one per
+// nested function literal, each solved independently.
+type funcFlow struct {
+	body *cfg
+	lits []litFlow // source order
+}
+
+type litFlow struct {
+	lit *ast.FuncLit
+	g   *cfg
+}
+
+// flowFor returns (building and caching on first use) the solved
+// bracket dataflow for fn's body.
+func (m *Module) flowFor(body *ast.BlockStmt) *funcFlow {
+	if m.flows == nil {
+		m.flows = map[*ast.BlockStmt]*funcFlow{}
+	}
+	if ff, ok := m.flows[body]; ok {
+		return ff
+	}
+	ff := &funcFlow{}
+	ff.body = buildCFG(body)
+	ff.body.solve()
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c := buildCFG(lit.Body)
+			c.solve()
+			ff.lits = append(ff.lits, litFlow{lit: lit, g: c})
+		}
+		return true
+	})
+	m.flows[body] = ff
+	return ff
+}
+
+// MustInShared reports whether pos — a program point inside body — is
+// bracketed by enterShared/exitShared on every path from the entry of
+// its enclosing function (or function literal).
+func (m *Module) MustInShared(body *ast.BlockStmt, pos token.Pos) bool {
+	ff := m.flowFor(body)
+	g := ff.body
+	// The innermost function literal containing pos owns the point.
+	for _, lf := range ff.lits {
+		if lf.lit.Body.Pos() <= pos && pos < lf.lit.Body.End() {
+			g = lf.g // later (nested) literals overwrite outer ones
+		}
+	}
+	node := g.nodeAt(pos)
+	if node < 0 {
+		return false
+	}
+	state := g.nodes[node].in
+	// Apply bracket toggles textually before pos within the same node.
+	for _, call := range bracketCalls(g.nodes[node].exprs) {
+		if call.End() <= pos {
+			state = applyBracket(state, call)
+		}
+	}
+	return state == brIn
+}
+
+// nodeAt finds the node whose evaluated expressions contain pos,
+// preferring the innermost (smallest) range.
+func (g *cfg) nodeAt(pos token.Pos) int {
+	best, bestSize := -1, token.Pos(0)
+	for i := range g.nodes {
+		for _, e := range g.nodes[i].exprs {
+			if e.Pos() <= pos && pos < e.End() {
+				size := e.End() - e.Pos()
+				if best < 0 || size < bestSize {
+					best, bestSize = i, size
+				}
+			}
+		}
+	}
+	return best
+}
+
+// bracketCalls returns the enterShared/exitShared calls evaluated in
+// exprs (not descending into function literals), in source order.
+func bracketCalls(exprs []ast.Expr) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok && bracketName(c) != "" {
+				calls = append(calls, c)
+			}
+			return true
+		})
+	}
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+	return calls
+}
+
+// bracketName classifies call as a bracket primitive by callee name.
+func bracketName(call *ast.CallExpr) string {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if name == "enterShared" || name == "exitShared" {
+		return name
+	}
+	return ""
+}
+
+func applyBracket(state uint8, call *ast.CallExpr) uint8 {
+	if bracketName(call) == "enterShared" {
+		return brIn
+	}
+	return brOut
+}
+
+// solve runs the forward union dataflow to a fixpoint.
+func (g *cfg) solve() {
+	if g.entry < 0 {
+		return
+	}
+	g.nodes[g.entry].in = brOut
+	for changed := true; changed; {
+		changed = false
+		for i := range g.nodes {
+			in := g.nodes[i].in
+			if in == 0 {
+				continue // not yet reached
+			}
+			out := in
+			for _, call := range bracketCalls(g.nodes[i].exprs) {
+				out = applyBracket(out, call)
+			}
+			for _, s := range g.nodes[i].succs {
+				if g.nodes[s].in|out != g.nodes[s].in {
+					g.nodes[s].in |= out
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// ---- construction ----
+
+type cfgBuilder struct {
+	g            *cfg
+	labels       map[string]int // label -> entry node of the labeled statement
+	gotos        []gotoPatch
+	pendingLabel string // label waiting to attach to the next loop/switch context
+}
+
+type gotoPatch struct {
+	node  int
+	label string
+}
+
+// loopCtx tracks where break/continue jump inside one enclosing loop,
+// switch or select.
+type loopCtx struct {
+	label        string
+	breakJumps   *[]int // nodes whose successor is the construct's follow point
+	continueTo   int    // -1 when continue is not meaningful (switch/select)
+	acceptsBreak bool
+}
+
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{entry: -1}, labels: map[string]int{}}
+	frontier := b.seq(body.List, []int{-1}, nil)
+	_ = frontier // dangling exits fall off the end of the function
+	for _, p := range b.gotos {
+		if tgt, ok := b.labels[p.label]; ok {
+			b.g.nodes[p.node].succs = append(b.g.nodes[p.node].succs, tgt)
+		}
+	}
+	return b.g
+}
+
+// newNode appends a node and wires the incoming frontier to it.  The
+// sentinel -1 in a frontier marks the function entry edge.
+func (b *cfgBuilder) newNode(stmt ast.Stmt, exprs []ast.Expr, frontier []int) int {
+	idx := len(b.g.nodes)
+	b.g.nodes = append(b.g.nodes, cfgNode{stmt: stmt, exprs: exprs})
+	b.connect(frontier, idx)
+	return idx
+}
+
+func (b *cfgBuilder) connect(frontier []int, to int) {
+	for _, f := range frontier {
+		if f == -1 {
+			if b.g.entry < 0 {
+				b.g.entry = to
+			}
+			continue
+		}
+		b.g.nodes[f].succs = append(b.g.nodes[f].succs, to)
+	}
+}
+
+// seq builds a statement sequence, threading the frontier through.
+func (b *cfgBuilder) seq(stmts []ast.Stmt, frontier []int, loops []loopCtx) []int {
+	for _, s := range stmts {
+		frontier = b.stmt(s, frontier, loops)
+	}
+	return frontier
+}
+
+// stmt builds one statement and returns the dangling exits that flow
+// to whatever follows it.
+func (b *cfgBuilder) stmt(s ast.Stmt, frontier []int, loops []loopCtx) []int {
+	if len(frontier) == 0 {
+		return nil // unreachable; skip (bracket facts stay conservative: in == 0 -> not mustIn)
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.seq(s.List, frontier, loops)
+
+	case *ast.LabeledStmt:
+		before := len(b.g.nodes)
+		out := b.stmtLabeled(s.Stmt, frontier, loops, s.Label.Name)
+		if len(b.g.nodes) > before {
+			b.labels[s.Label.Name] = before
+		}
+		return out
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			frontier = b.stmt(s.Init, frontier, loops)
+		}
+		cond := b.newNode(s, condExprs(s.Cond), frontier)
+		thenOut := b.seq(s.Body.List, []int{cond}, loops)
+		merged := append([]int{}, thenOut...)
+		if s.Else != nil {
+			return append(merged, b.stmt(s.Else, []int{cond}, loops)...)
+		}
+		return append(merged, cond)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			frontier = b.stmt(s.Init, frontier, loops)
+		}
+		cond := b.newNode(s, condExprs(s.Cond), frontier)
+		var breaks []int
+		continueTo := cond
+		var post int = -1
+		if s.Post != nil {
+			// The post node is created up front so continue can target it;
+			// it receives its incoming edges from the body exits below.
+			post = b.newNode(s.Post, stmtExprs(s.Post), nil)
+			b.g.nodes[post].succs = append(b.g.nodes[post].succs, cond)
+			continueTo = post
+		}
+		ctx := loopCtx{label: b.takeLabel(), breakJumps: &breaks, continueTo: continueTo, acceptsBreak: true}
+		bodyOut := b.seq(s.Body.List, []int{cond}, append(loops, ctx))
+		if post >= 0 {
+			b.connect(bodyOut, post)
+		} else {
+			b.connect(bodyOut, cond)
+		}
+		exits := breaks
+		if s.Cond != nil {
+			exits = append(exits, cond)
+		}
+		return exits
+
+	case *ast.RangeStmt:
+		head := b.newNode(s, condExprs(s.X), frontier)
+		var breaks []int
+		ctx := loopCtx{label: b.takeLabel(), breakJumps: &breaks, continueTo: head, acceptsBreak: true}
+		bodyOut := b.seq(s.Body.List, []int{head}, append(loops, ctx))
+		b.connect(bodyOut, head)
+		return append(breaks, head)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			frontier = b.stmt(s.Init, frontier, loops)
+		}
+		head := b.newNode(s, condExprs(s.Tag), frontier)
+		return b.switchClauses(s.Body.List, head, loops, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			frontier = b.stmt(s.Init, frontier, loops)
+		}
+		head := b.newNode(s, stmtExprs(s.Assign), frontier)
+		return b.switchClauses(s.Body.List, head, loops, false)
+
+	case *ast.SelectStmt:
+		head := b.newNode(s, nil, frontier)
+		var breaks []int
+		ctx := loopCtx{label: b.takeLabel(), breakJumps: &breaks, acceptsBreak: true, continueTo: -1}
+		var exits []int
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			entry := []int{head}
+			if comm.Comm != nil {
+				entry = []int{b.newNode(comm.Comm, stmtExprs(comm.Comm), entry)}
+			}
+			exits = append(exits, b.seq(comm.Body, entry, append(loops, ctx))...)
+		}
+		exits = append(exits, breaks...)
+		if len(s.Body.List) == 0 {
+			exits = append(exits, head)
+		}
+		return exits
+
+	case *ast.ReturnStmt:
+		b.newNode(s, stmtExprs(s), frontier)
+		return nil
+
+	case *ast.BranchStmt:
+		node := b.newNode(s, nil, frontier)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			for i := len(loops) - 1; i >= 0; i-- {
+				if loops[i].acceptsBreak && (label == "" || loops[i].label == label) {
+					*loops[i].breakJumps = append(*loops[i].breakJumps, node)
+					return nil
+				}
+			}
+		case token.CONTINUE:
+			for i := len(loops) - 1; i >= 0; i-- {
+				if loops[i].continueTo >= 0 && (label == "" || loops[i].label == label) {
+					b.g.nodes[node].succs = append(b.g.nodes[node].succs, loops[i].continueTo)
+					return nil
+				}
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, gotoPatch{node: node, label: label})
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by switchClauses wiring; treat as plain fallthrough exit.
+			return []int{node}
+		}
+		return nil
+
+	default:
+		// Atomic: assign, expr, decl, incdec, send, go, defer, empty.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return frontier
+		}
+		exprs := stmtExprs(s)
+		node := b.newNode(s, exprs, frontier)
+		if isTerminalCall(s) {
+			return nil
+		}
+		return []int{node}
+	}
+}
+
+// stmtLabeled builds s with its label visible to break/continue.
+func (b *cfgBuilder) stmtLabeled(s ast.Stmt, frontier []int, loops []loopCtx, label string) []int {
+	// Tag the next loop context created inside with the label by
+	// pre-registering: simplest is to rebuild the loop forms here with
+	// the label threaded in.
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = label
+	}
+	return b.stmt(s, frontier, loops)
+}
+
+// switchClauses wires case clauses: each clause's guard hangs off
+// head, fallthrough chains bodies, break exits the switch.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, head int, loops []loopCtx, _ bool) []int {
+	var breaks []int
+	ctx := loopCtx{label: b.takeLabel(), breakJumps: &breaks, acceptsBreak: true, continueTo: -1}
+	var exits []int
+	hasDefault := false
+	var prevFallthrough []int
+	for _, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		entry := []int{head}
+		if len(cc.List) > 0 {
+			entry = []int{b.newNode(cc, cc.List, entry)}
+		} else {
+			entry = []int{b.newNode(cc, nil, entry)}
+		}
+		entry = append(entry, prevFallthrough...)
+		prevFallthrough = nil
+		bodyOut := b.seq(cc.Body, entry, append(loops, ctx))
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				prevFallthrough = bodyOut
+				continue
+			}
+		}
+		exits = append(exits, bodyOut...)
+	}
+	exits = append(exits, prevFallthrough...) // trailing fallthrough: falls out
+	exits = append(exits, breaks...)
+	if !hasDefault {
+		exits = append(exits, head)
+	}
+	return exits
+}
+
+// takeLabel consumes the label pending for the next loop construct.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// condExprs wraps a possibly-nil condition expression.
+func condExprs(e ast.Expr) []ast.Expr {
+	if e == nil {
+		return nil
+	}
+	return []ast.Expr{e}
+}
+
+// stmtExprs collects the expressions a simple statement evaluates.
+func stmtExprs(s ast.Stmt) []ast.Expr {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	case *ast.ReturnStmt:
+		return append([]ast.Expr{}, s.Results...)
+	case *ast.GoStmt:
+		return []ast.Expr{s.Call}
+	case *ast.DeferStmt:
+		// Deferred calls run at returns; their arguments are evaluated here.
+		return append([]ast.Expr{}, s.Call.Args...)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		var exprs []ast.Expr
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				exprs = append(exprs, vs.Values...)
+			}
+		}
+		return exprs
+	default:
+		return nil
+	}
+}
+
+// isTerminalCall reports whether s unconditionally ends control flow
+// (panic or a call that never returns is approximated by panic only).
+func isTerminalCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

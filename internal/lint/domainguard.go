@@ -1,0 +1,307 @@
+package lint
+
+// The domainguard analyzer.  The parallel lockstep engine (DESIGN.md,
+// "Parallel domains") is bit-identical across worker counts only
+// because a domain worker touches nothing but its own domain's state —
+// its calendar queue, stat shadows, inbox, flight ring — unless it
+// holds the globally-sequenced shared-section grant taken with
+// enterShared/exitShared.  That boundary was tribal knowledge enforced
+// by differential tests; domainguard makes it a static property:
+//
+//  1. Struct fields are classified with //lint:owner annotations
+//     (domain, shared, domain-link — see annotations.go).
+//  2. The functions transitively reachable from every //lint:owner
+//     worker root form the concurrent region.  //lint:owner quiescent
+//     entries (the arbiter monitor, window-boundary code) are not
+//     traversed: they run while every worker is parked.
+//  3. Inside the concurrent region, an access to a shared field must
+//     be bracketed by enterShared/exitShared on every control-flow
+//     path (the must-analysis in cfg.go), or sit in a function that is
+//     itself only callable with the bracket held (the serialized-
+//     context fixpoint below — how (*Chip).InvalidateL1's deferred
+//     cross-domain inbox append is proven safe without a local
+//     bracket).
+//  4. An access to a domain-owned field, or a method call on a
+//     domain-owning type, must be rooted at the worker's own domain: a
+//     receiver of the owning type, a domain-link field read, or a
+//     local provably assigned from those — the receiver-taint facts.
+//     Holding the bracket also legalizes it (that is the arbiter's
+//     serialization guarantee, and exactly how the deferred inbox
+//     protocol writes another domain's inbox).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DomainGuard enforces the domain-ownership isolation boundary in code
+// reachable from worker window loops.
+var DomainGuard = &Analyzer{
+	Name: "domainguard",
+	Doc:  "cross-domain and shared state reachable from a worker loop must be bracketed by enterShared/exitShared or owned by the worker",
+	Run:  runDomainGuard,
+}
+
+func runDomainGuard(m *Module, pkg *Package, report ReportFunc) {
+	diags := m.Fact("domainguard", func() any { return domainGuardModule(m) }).([]moduleDiag)
+	for _, d := range diags {
+		if d.pkg == pkg {
+			report(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+func domainGuardModule(m *Module) []moduleDiag {
+	facts := collectOwnerAnnotations(m)
+	diags := facts.bad
+	if len(facts.workers) == 0 || len(facts.fieldKind) == 0 {
+		return diags
+	}
+	g := m.CallGraph()
+	reach := g.Reachable(facts.workers, func(n *FuncNode) bool { return facts.quiescent[n] })
+	serialized := serializedContexts(m, g, reach, facts.workers)
+
+	for _, n := range g.Nodes() {
+		if !reach[n] {
+			continue
+		}
+		diags = append(diags, checkFuncOwnership(m, n, facts, serialized[n])...)
+	}
+	return diags
+}
+
+// serializedContexts runs the interprocedural fixpoint: a reachable
+// function is serialized when every reachable call site that can
+// invoke it either holds the bracket (must-IN at the call) or sits in
+// a serialized caller.  Worker roots are never serialized.  The
+// property starts optimistically true and only decays, so iteration
+// terminates.
+func serializedContexts(m *Module, g *CallGraph, reach map[*FuncNode]bool, roots []*FuncNode) map[*FuncNode]bool {
+	serialized := map[*FuncNode]bool{}
+	rootSet := map[*FuncNode]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	for _, n := range g.Nodes() {
+		if reach[n] {
+			serialized[n] = !rootSet[n]
+		}
+	}
+	callers := g.callersWithin(reach)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if !reach[n] || !serialized[n] || rootSet[n] {
+				continue
+			}
+			ok := true
+			for _, edge := range callers[n] {
+				if serialized[edge.caller] {
+					continue
+				}
+				if !m.MustInShared(edge.caller.Decl.Body, edge.site.Call.Pos()) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				serialized[n] = false
+				changed = true
+			}
+		}
+	}
+	return serialized
+}
+
+// checkFuncOwnership walks one reachable function and reports every
+// ownership-rule violation.
+func checkFuncOwnership(m *Module, n *FuncNode, facts *ownerFacts, serialized bool) []moduleDiag {
+	info := n.Pkg.Info
+	recv := receiverObject(n)
+	tainted := ownDomainLocals(n, facts, recv)
+
+	// ownExpr reports whether e denotes the worker's own domain.
+	var ownExpr func(e ast.Expr) bool
+	ownExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			return obj != nil && (obj == recv || tainted[obj])
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && facts.fieldKind[v] == "domain-link" {
+				return selfRooted(info, e.X, recv)
+			}
+		case *ast.UnaryExpr:
+			return ownExpr(e.X)
+		case *ast.StarExpr:
+			return ownExpr(e.X)
+		}
+		return false
+	}
+
+	var diags []moduleDiag
+	seen := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok || seen[sel] {
+			return true
+		}
+		seen[sel] = true
+		allowed := func() bool {
+			return serialized || m.MustInShared(n.Decl.Body, sel.Pos())
+		}
+		switch obj := info.Uses[sel.Sel].(type) {
+		case *types.Var:
+			switch facts.fieldKind[obj] {
+			case "shared":
+				if !allowed() {
+					diags = append(diags, moduleDiag{n.Pkg, sel.Pos(),
+						fmt.Sprintf("access to shared field %s outside an enterShared/exitShared bracket (in %s, reachable from a worker loop)", render(sel), n.Name())})
+				}
+			case "domain":
+				if !ownExpr(sel.X) && !allowed() {
+					diags = append(diags, moduleDiag{n.Pkg, sel.Pos(),
+						fmt.Sprintf("access to domain-owned field %s through a value that is not the worker's own domain and without the shared-section bracket (in %s)", render(sel), n.Name())})
+				}
+			}
+		case *types.Func:
+			// A method call on a domain-owning type is an access to
+			// that domain's state.
+			if recvType := methodRecvNamed(obj); recvType != nil && facts.ownerTypes[recvType] {
+				if !ownExpr(sel.X) && !allowed() {
+					diags = append(diags, moduleDiag{n.Pkg, sel.Pos(),
+						fmt.Sprintf("call %s targets a domain that is not provably the worker's own and is not under the shared-section bracket (in %s)", render(sel), n.Name())})
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// receiverObject returns n's receiver variable, if any.
+func receiverObject(n *FuncNode) types.Object {
+	if n.Decl.Recv == nil || len(n.Decl.Recv.List) != 1 || len(n.Decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return n.Pkg.Info.Defs[n.Decl.Recv.List[0].Names[0]]
+}
+
+// methodRecvNamed unwraps a method's receiver to its named type.
+func methodRecvNamed(f *types.Func) *types.TypeName {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	if named, ok := deref(sig.Recv().Type()).(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// selfRooted reports whether e is the function's own receiver (the
+// only base through which a domain-link read yields an owned domain).
+func selfRooted(info *types.Info, e ast.Expr, recv types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || recv == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj == recv
+}
+
+// ownDomainLocals computes the receiver-taint facts: locals that are
+// always assigned from expressions denoting the worker's own domain.
+// The analysis is flow-insensitive — a local is tainted only when
+// every assignment to it in the function is own-domain — which is
+// sound for the "is this value my domain?" question.
+func ownDomainLocals(n *FuncNode, facts *ownerFacts, recv types.Object) map[types.Object]bool {
+	info := n.Pkg.Info
+
+	// If the receiver's own type is a domain-owning struct, the
+	// receiver itself denotes the own domain (a domain method runs on
+	// behalf of its own worker; cross-domain method calls are caught
+	// at the call site in the caller).
+	recvIsOwn := false
+	if recv != nil {
+		if named, ok := deref(recv.Type()).(*types.Named); ok && facts.ownerTypes[named.Obj()] {
+			recvIsOwn = true
+		}
+	}
+
+	type cand struct {
+		obj    types.Object
+		always bool
+	}
+	var cands []*cand
+	candIdx := map[types.Object]*cand{}
+	tainted := map[types.Object]bool{}
+	if recvIsOwn {
+		tainted[recv] = true
+	}
+
+	isOwnRHS := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			return obj != nil && ((recvIsOwn && obj == recv) || tainted[obj])
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && facts.fieldKind[v] == "domain-link" {
+				return selfRooted(info, e.X, recv)
+			}
+		}
+		return false
+	}
+
+	// Two passes reach the fixpoint for chains like d := p.dom; e := d
+	// (assignments are visited in source order; a second pass settles
+	// reverse-order chains, and deeper chains do not occur).
+	for pass := 0; pass < 2; pass++ {
+		cands = cands[:0]
+		clear(candIdx)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || obj == recv {
+					continue
+				}
+				c := candIdx[obj]
+				if c == nil {
+					c = &cand{obj: obj, always: true}
+					candIdx[obj] = c
+					cands = append(cands, c)
+				}
+				if !isOwnRHS(as.Rhs[i]) {
+					c.always = false
+				}
+			}
+			return true
+		})
+		for _, c := range cands {
+			if c.always {
+				tainted[c.obj] = true
+			} else {
+				delete(tainted, c.obj)
+			}
+		}
+	}
+	return tainted
+}

@@ -24,10 +24,14 @@ import (
 )
 
 // Diagnostic is one finding, renderable as "file:line:col: [analyzer] message".
+// Allowed findings were suppressed by an audited //lint:allow directive;
+// Run drops them, RunDetailed keeps them with the directive's reason.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos         token.Position
+	Analyzer    string
+	Message     string
+	Allowed     bool
+	AllowReason string
 }
 
 func (d Diagnostic) String() string {
@@ -48,7 +52,7 @@ type ReportFunc func(pos token.Pos, format string, args ...any)
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, PoolGuard, TelemetryCost, EventDiscipline}
+	return []*Analyzer{Determinism, PoolGuard, TelemetryCost, EventDiscipline, DomainGuard, HotAlloc}
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,poolguard").
@@ -93,6 +97,20 @@ const directivePrefix = "lint:allow"
 // malformed directives are reported as findings of the pseudo-analyzer
 // "lint".
 func Run(m *Module, analyzers []*Analyzer, filter func(*Package) bool) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range RunDetailed(m, analyzers, filter) {
+		if !d.Allowed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// RunDetailed is Run keeping the suppressed findings: every diagnostic
+// comes back, audited ones marked Allowed and carrying their
+// directive's reason — the record the JSON output and CI summaries
+// show.
+func RunDetailed(m *Module, analyzers []*Analyzer, filter func(*Package) bool) []Diagnostic {
 	var diags []Diagnostic
 	var allows []*allowDirective
 
@@ -118,21 +136,17 @@ func Run(m *Module, analyzers []*Analyzer, filter func(*Package) bool) []Diagnos
 
 	// A directive suppresses findings of its analyzer on its own line
 	// (trailing comment) or the line directly below (own-line comment).
-	kept := diags[:0]
-	for _, d := range diags {
-		suppressed := false
+	for i := range diags {
+		d := &diags[i]
 		for _, dir := range allows {
 			if dir.analyzer == d.Analyzer && dir.pos.Filename == d.Pos.Filename &&
 				(dir.pos.Line == d.Pos.Line || dir.pos.Line+1 == d.Pos.Line) {
 				dir.used = true
-				suppressed = true
+				d.Allowed = true
+				d.AllowReason = dir.reason
 			}
 		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
 	}
-	diags = kept
 
 	for _, dir := range allows {
 		if !dir.used {

@@ -7,6 +7,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // loadFixture loads one testdata tree as the module "example.com/fix".
@@ -101,6 +102,49 @@ func TestEventDisciplineGolden(t *testing.T) {
 	checkGolden(t, "eventdisc", []*Analyzer{EventDiscipline})
 }
 
+func TestDomainGuardGolden(t *testing.T) {
+	checkGolden(t, "domainguard", []*Analyzer{DomainGuard})
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	checkGolden(t, "hotalloc", []*Analyzer{HotAlloc})
+}
+
+// TestInjectedViolations pins the acceptance criteria directly: the
+// injected unguarded cross-domain access and the injected event-loop
+// allocation each produce exactly one finding, at the marked line.
+func TestInjectedViolations(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+		file     string
+	}{
+		{"domainguard", DomainGuard, "inject.go"},
+		{"hotalloc", HotAlloc, "inject.go"},
+	}
+	for _, tc := range cases {
+		m := loadFixture(t, tc.fixture)
+		wantLine := 0
+		for _, w := range fixtureWants(m) {
+			if w.file == tc.file {
+				wantLine = w.line
+			}
+		}
+		if wantLine == 0 {
+			t.Fatalf("%s: no want marker in %s", tc.fixture, tc.file)
+		}
+		var inFile []Diagnostic
+		for _, d := range Run(m, []*Analyzer{tc.analyzer}, nil) {
+			if filepath.Base(d.Pos.Filename) == tc.file {
+				inFile = append(inFile, d)
+			}
+		}
+		if len(inFile) != 1 || inFile[0].Pos.Line != wantLine {
+			t.Errorf("%s/%s: want exactly one finding at line %d, got %v", tc.fixture, tc.file, wantLine, inFile)
+		}
+	}
+}
+
 // TestAllowDirectives pins the suppression machinery: audited map
 // ranges vanish, while unused, malformed and unknown-analyzer
 // directives surface as "lint" findings.
@@ -169,19 +213,29 @@ func TestByName(t *testing.T) {
 }
 
 // TestModuleCleanliness is the dogfood gate in test form: the module
-// itself must be lint-clean.  ci.sh runs the CLI too; this keeps `go
-// test ./...` sufficient to catch regressions.
+// itself must be lint-clean, and the whole load+analyze pass must stay
+// fast enough to sit in the default CI gate.  ci.sh runs the CLI too;
+// this keeps `go test ./...` sufficient to catch regressions.
 func TestModuleCleanliness(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
+	start := time.Now()
 	m, err := LoadModule(root)
 	if err != nil {
 		t.Fatal(err)
 	}
 	diags := Run(m, All(), nil)
+	elapsed := time.Since(start)
 	for _, d := range diags {
 		t.Errorf("module not lint-clean: %s", d)
+	}
+	// Typical load+run is well under a second; the generous bound only
+	// catches an analyzer going superlinear (a lost cache share, a
+	// fixpoint that stopped converging), not a slow CI host.
+	const budget = 5 * time.Second
+	if elapsed > budget {
+		t.Errorf("whole-module lint took %v, over its %v budget", elapsed, budget)
 	}
 }

@@ -23,12 +23,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -57,6 +59,27 @@ type Module struct {
 	Pkgs []*Package // topologically ordered, dependencies first
 
 	nilSafe map[methodKey]bool
+
+	// Lazily built, shared across analyzers within one run (the
+	// dogfood timing budget assumes one load and one fact build).
+	flows map[*ast.BlockStmt]*funcFlow
+	graph *CallGraph
+	facts map[string]any
+}
+
+// Fact memoizes a module-level analysis result under key, so analyzers
+// that need whole-module facts (domainguard, hotalloc) compute them
+// once and then filter per package.
+func (m *Module) Fact(key string, build func() any) any {
+	if m.facts == nil {
+		m.facts = map[string]any{}
+	}
+	if v, ok := m.facts[key]; ok {
+		return v
+	}
+	v := build()
+	m.facts[key] = v
+	return v
 }
 
 type methodKey struct {
@@ -150,6 +173,9 @@ func LoadTree(root, modPath string) (*Module, error) {
 			if err != nil {
 				return nil, err
 			}
+			if !buildFileIncluded(f) {
+				continue
+			}
 			files = append(files, f)
 		}
 		if len(files) == 0 {
@@ -202,6 +228,39 @@ func LoadTree(root, modPath string) (*Module, error) {
 	m.Pkgs = ordered
 	m.computeNilSafe()
 	return m, nil
+}
+
+// buildFileIncluded reports whether f's build constraints (//go:build
+// or legacy // +build lines above the package clause) admit the host
+// configuration.  Excluded files would double-declare symbols or
+// reference platform-only APIs, poisoning the shared type-check, so
+// the loader drops them the way `go build` would.
+func buildFileIncluded(f *ast.File) bool {
+	tagOK := func(tag string) bool {
+		switch tag {
+		case runtime.GOOS, runtime.GOARCH, "gc":
+			return true
+		}
+		return strings.HasPrefix(tag, "go1")
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: include, let the checker complain
+			}
+			if !expr.Eval(tagOK) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // topoSort orders packages dependencies-first using module-local import

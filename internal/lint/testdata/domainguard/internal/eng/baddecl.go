@@ -1,0 +1,10 @@
+package eng
+
+// Annotation hygiene: a bad kind or a dangling attachment is itself a
+// finding, so stale ownership declarations cannot accumulate.
+
+//lint:owner sharded // want "unknown kind"
+var strayTable [4]uint64
+
+//lint:owner domain // want "attaches to no struct field"
+func strayHelper() {}

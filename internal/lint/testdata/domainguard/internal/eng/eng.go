@@ -1,0 +1,101 @@
+// Package eng is a miniature of internal/sim's parallel domain engine:
+// per-domain state annotated with //lint:owner, a worker window loop,
+// and the enterShared/exitShared arbiter bracket.
+package eng
+
+type event struct{ at uint64 }
+
+type inval struct{ addr uint64 }
+
+// domain is one unit of concurrently-advancing state.
+type domain struct {
+	id   int
+	chip *Chip
+
+	//lint:owner domain
+	queue []event
+	//lint:owner domain
+	inbox []inval
+	now   uint64    //lint:owner domain
+	stats [4]uint64 //lint:owner domain
+}
+
+// Chip aggregates the domains plus chip-shared state.
+type Chip struct {
+	domains []*domain
+
+	//lint:owner shared
+	l2 map[uint64]uint64
+	//lint:owner domain-link
+	curDom *domain
+
+	seq uint64
+	l1d *cache
+}
+
+func (c *Chip) enterShared() {}
+func (c *Chip) exitShared()  {}
+
+func (d *domain) scheduleEv(e event) {
+	d.queue = append(d.queue, e) // ok: own receiver
+}
+
+// runWindow is the worker loop: everything reachable from here runs
+// concurrently with the other domains' workers.
+//
+//lint:owner worker
+func (d *domain) runWindow(limit uint64) {
+	for d.now < limit { // ok: own receiver
+		d.now++
+		d.chip.dispatch()
+	}
+	d.chip.park()
+}
+
+func (c *Chip) dispatch() {
+	d := c.curDom // ok: domain-link read through the own receiver
+	d.stats[0]++  // ok: tainted local holds the own domain
+	d.scheduleEv(event{at: 1})
+	c.flushLine(7)
+	c.maybeFlush(8, d.now > 3)
+	c.l1d.evict(9)
+	c.seq += c.stealWork()
+	c.seq += c.probe()
+}
+
+// flushLine brackets its shared work; the helper it calls needs no
+// bracket of its own (the serialized-context fixpoint).
+func (c *Chip) flushLine(addr uint64) {
+	c.enterShared()
+	c.invalidateLine(addr)
+	c.exitShared()
+}
+
+func (c *Chip) invalidateLine(addr uint64) {
+	delete(c.l2, addr) // ok: every reachable caller holds the bracket
+	for _, o := range c.domains {
+		o.inbox = append(o.inbox, inval{addr: addr}) // ok: serialized context
+	}
+}
+
+// probe reads shared state without the bracket, but the site has been
+// audited by hand: the directive suppresses the finding.
+func (c *Chip) probe() uint64 {
+	return c.l2[0] //lint:allow domainguard audited: the probed line is immutable after reset
+}
+
+// park hands control to the quiescent boundary; boundary's body
+// touches every domain but is exempt by annotation.
+func (c *Chip) park() {
+	c.boundary()
+}
+
+// boundary runs only while every worker is parked at the window edge.
+//
+//lint:owner quiescent
+func (c *Chip) boundary() {
+	for _, o := range c.domains {
+		o.now = 0 // ok: quiescent code is not traversed
+		o.stats[3] = 0
+	}
+}

@@ -1,0 +1,12 @@
+package eng
+
+// stealWork is the injected violation of the acceptance criteria: a
+// worker reaching straight into sibling domains' state with neither
+// the bracket nor ownership.  Exactly one finding, at the marked line.
+func (c *Chip) stealWork() uint64 {
+	var n uint64
+	for _, o := range c.domains {
+		n += o.now // want "access to domain-owned field o.now"
+	}
+	return n
+}

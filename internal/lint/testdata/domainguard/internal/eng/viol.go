@@ -1,0 +1,35 @@
+package eng
+
+// maybeFlush takes the bracket on only one control-flow path, so the
+// must-analysis rejects the access: a branch-dependent bracket is a
+// latent race, not a guarantee.
+func (c *Chip) maybeFlush(addr uint64, wide bool) {
+	if wide {
+		c.enterShared()
+	}
+	c.l2[addr] = 0 // want "access to shared field c.l2 outside an enterShared/exitShared bracket"
+	if wide {
+		c.exitShared()
+	}
+}
+
+// invalidator fronts the chip through an interface — the same seam
+// internal/mem uses to call back into (*Chip).InvalidateL1.  The call
+// graph must resolve the dispatch to reach the violation below.
+type invalidator interface {
+	invalidate(addr uint64)
+}
+
+type cache struct {
+	dir invalidator
+}
+
+func (s *cache) evict(addr uint64) {
+	s.dir.invalidate(addr) // resolves to (*Chip).invalidate, which is not serialized
+}
+
+func (c *Chip) invalidate(addr uint64) {
+	for _, o := range c.domains {
+		o.stats[2]++ // want "access to domain-owned field o.stats"
+	}
+}

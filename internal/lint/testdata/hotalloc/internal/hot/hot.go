@@ -1,0 +1,132 @@
+// Package hot is a miniature of the engine's per-cycle event loop and
+// its recycling idioms — retained scratch buffers, a heap with
+// capacity reuse — plus the allocation mistakes hotalloc exists to
+// catch.
+package hot
+
+type ev struct {
+	at   uint64
+	kind int
+}
+
+// evHeap reuses its backing array: push appends, pop re-slices.
+type evHeap []ev
+
+func (h *evHeap) push(e ev) {
+	*h = append(*h, e) // ok: retained named slice type
+}
+
+func (h *evHeap) pop() ev {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type proc struct {
+	insts    []ev
+	scratch  []uint64
+	deferred []uint64
+	done     []uint64
+	last     *ev
+}
+
+// reset recycles the per-proc buffers, keeping their capacity.
+func (p *proc) reset() {
+	p.insts = p.insts[:0]
+	p.scratch = p.scratch[:0]
+}
+
+// sweep drops zero entries in place: the filter alias writes into
+// done's own backing store, which is what retains the field.
+func (p *proc) sweep() {
+	kept := p.done[:0]
+	for _, v := range p.done {
+		if v != 0 {
+			kept = append(kept, v) // ok: reuse alias of the field's backing array
+		}
+	}
+	p.done = kept
+}
+
+type engine struct {
+	procs []proc
+	heap  evHeap
+	slots []uint64
+	seen  map[uint64]bool
+}
+
+// ensure is the lazy-init idiom: allocations behind a nil guard run
+// once, not per event.
+func (e *engine) ensure() {
+	if e.slots == nil {
+		e.slots = make([]uint64, 64) // ok: nil-guarded one-time init
+		e.seen = map[uint64]bool{}   // ok: one-time init inside the guard
+	}
+}
+
+// grow is the amortized-growth idiom: the cap guard bounds how often
+// the make can run.
+func grow(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n) // ok: cap-guarded amortized growth
+	}
+	return s[:n]
+}
+
+// run is the per-cycle event loop.
+//
+//lint:hot root
+func (e *engine) run(cycles int) {
+	for c := 0; c < cycles; c++ {
+		for i := range e.procs {
+			e.step(&e.procs[i], uint64(c))
+		}
+	}
+}
+
+func (e *engine) step(p *proc, at uint64) {
+	e.ensure()
+	e.heap.push(ev{at: at})          // ok: retained heap, value argument
+	p.insts = append(p.insts, ev{})  // ok: retained field (reset re-slices)
+	p.scratch = append(p.scratch, 1) // ok: retained field
+	p.scratch = grow(p.scratch, 8)
+	p.done = append(p.done, at) // ok: done is retained through sweep's filter alias
+	p.sweep()
+	reindex := func() { p.last = nil } // ok: capturing, but bound to a local helper
+	reindex()
+	e.sinkFn(func(x uint64) uint64 { return x + 1 }) // ok: non-capturing literal, a static funcval
+	if len(p.insts) > 4 {
+		p.reset()
+	}
+	e.record(p, at)
+	e.spill(p)
+	e.fail(p, at)
+	_ = e.heap.pop()
+}
+
+func itoa(p *proc) string {
+	if p == nil {
+		return "nil"
+	}
+	return "proc"
+}
+
+func (e *engine) sink(v any) {}
+
+func (e *engine) sinkFn(fn func(uint64) uint64) {}
+
+// fail is the fault path: entered at most once per run, so neither its
+// body nor its argument boxing is hot.
+//
+//lint:hot cold fault path, executed at most once per run
+func (e *engine) fail(args ...any) {
+	panic("fail")
+}
+
+// NewBuf allocates fresh state: fine at setup time, flagged at any hot
+// call site (constructors are not traversed).
+func NewBuf() *proc {
+	return &proc{insts: make([]ev, 0, 16)}
+}

@@ -1,0 +1,8 @@
+package hot
+
+// record is the injected violation of the acceptance criteria: an
+// event record allocated fresh on every dispatch instead of drawn from
+// a pool.  Exactly one finding, at the marked line.
+func (e *engine) record(p *proc, at uint64) {
+	p.last = &ev{at: at} // want "&ev composite literal escapes"
+}

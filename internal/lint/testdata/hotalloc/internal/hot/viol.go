@@ -1,0 +1,21 @@
+package hot
+
+// spill collects one specimen of every allocation category hotalloc
+// flags.
+func (e *engine) spill(p *proc) {
+	tmp := make([]uint64, len(p.scratch)) // want "make allocates"
+	copy(tmp, p.scratch)
+	box := &ev{} // want "composite literal escapes to the heap"
+	_ = box
+	ids := []int{1, 2} // want "literal allocates its backing store"
+	_ = ids
+	e.sinkFn(func(x uint64) uint64 { return x + uint64(len(p.scratch)) }) // want "capturing closure allocates at every evaluation"
+	name := "p" + itoa(p)                                                 // want "string concatenation allocates"
+	_ = name
+	e.sink(len(ids)) // want "boxes a non-pointer int"
+	b := NewBuf()    // want "constructor NewBuf called on the hot path"
+	_ = b
+	q := p.deferred
+	q = append(q, 1) // want "append to q may grow a non-retained buffer"
+	p.deferred = q
+}

@@ -1,0 +1,10 @@
+// Package base is the shared leaf of the loader fixture's diamond
+// dependency (top -> left/right -> base).  Width is completed by the
+// build-tagged host file, so the package only type-checks if the
+// loader admits the host-tagged file and drops the foreign ones.
+package base
+
+// Width comes from the host-tagged file.
+const Width = hostWidth
+
+func Leaf() int { return Width }

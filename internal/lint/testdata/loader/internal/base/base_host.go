@@ -1,0 +1,5 @@
+//go:build gc
+
+package base
+
+const hostWidth = 64

@@ -1,0 +1,8 @@
+//go:build someotherplatform
+// +build someotherplatform
+
+package base
+
+// Leaf would collide with base.go's Leaf if the legacy +build line
+// were ignored.
+func Leaf() string { return "dup" }

@@ -1,0 +1,7 @@
+//go:build someotherplatform
+
+package base
+
+// hostWidth would redeclare the host file's constant if the loader
+// ever admitted this file.
+const hostWidth = 32

@@ -1,0 +1,22 @@
+// Package gen exercises generic declarations through the loader: the
+// type checker must instantiate them and receiver resolution must
+// unwrap the type-parameter index.
+package gen
+
+type Ring[T any] struct {
+	buf []T
+}
+
+func (r *Ring[T]) Push(v T) {
+	r.buf = append(r.buf, v)
+}
+
+func (r *Ring[T]) Len() int { return len(r.buf) }
+
+func Map[T, U any](in []T, f func(T) U) []U {
+	out := make([]U, 0, len(in))
+	for _, v := range in {
+		out = append(out, f(v))
+	}
+	return out
+}

@@ -1,0 +1,6 @@
+// Package left is one side of the diamond.
+package left
+
+import "example.com/fix/internal/base"
+
+func Twice() int { return 2 * base.Leaf() }

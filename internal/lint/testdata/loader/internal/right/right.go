@@ -1,0 +1,6 @@
+// Package right is the other side of the diamond.
+package right
+
+import "example.com/fix/internal/base"
+
+func Thrice() int { return 3 * base.Leaf() }

@@ -1,0 +1,18 @@
+// Package top closes the diamond and instantiates the generics, so
+// the loader must order base before left/right and everything before
+// top.
+package top
+
+import (
+	"example.com/fix/internal/gen"
+	"example.com/fix/internal/left"
+	"example.com/fix/internal/right"
+)
+
+func Sum() int {
+	var r gen.Ring[int]
+	r.Push(left.Twice())
+	r.Push(right.Thrice())
+	doubled := gen.Map([]int{r.Len()}, func(v int) int { return 2 * v })
+	return doubled[0]
+}

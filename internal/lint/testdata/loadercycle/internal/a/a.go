@@ -1,0 +1,7 @@
+// Package a imports b, which imports a: the loader must refuse the
+// cycle instead of recursing or deadlocking.
+package a
+
+import "example.com/fix/internal/b"
+
+func A() int { return b.B() }

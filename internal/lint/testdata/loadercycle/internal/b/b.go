@@ -1,0 +1,5 @@
+package b
+
+import "example.com/fix/internal/a"
+
+func B() int { return a.A() }

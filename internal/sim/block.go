@@ -505,6 +505,7 @@ func (p *Proc) resolveRead(b *IFB, ri int, t uint64) {
 		}
 		w := &a.wr[slot]
 		if !w.resolved {
+			//lint:allow hotalloc audited: the waiter list is drained wholesale and nil-reset at wake (serveWriteWaiters); reusing the backing array would alias an in-flight drain, so the regrowth is the safe choice
 			w.waiters = append(w.waiters, readWaiter{b: b, gen: b.gen, readIdx: ri, t: t})
 			return
 		}

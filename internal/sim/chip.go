@@ -24,8 +24,8 @@ type Chip struct {
 
 	Opn  *noc.Mesh // operand network
 	Ctl  *noc.Mesh // control network (fetch/commit protocols)
-	L2   *mem.L2
-	DRAM *mem.DRAM
+	L2   *mem.L2   //lint:owner shared
+	DRAM *mem.DRAM //lint:owner shared
 
 	l1d     [compose.NumCores]*mem.Cache
 	l1dPort [compose.NumCores]port
@@ -39,17 +39,17 @@ type Chip struct {
 	domains      []*domain
 	nextDomainID int
 	coreDom      [compose.NumCores]*domain // owning domain per physical core
-	pendingProcs []*Proc                   // composed, awaiting quiescent placement
-	curDom       *domain                   // domain whose event is executing
+	pendingProcs []*Proc                   //lint:owner shared (composed, awaiting quiescent placement)
+	curDom       *domain                   //lint:owner domain-link (domain whose event is executing)
 	par          *parRun                   // non-nil while the worker pool runs
-	deferSeq     uint64                    // global deferred-invalidation sequence
+	deferSeq     uint64                    //lint:owner shared (global deferred-invalidation sequence)
 
 	ref      eventQueue // reference queue (Options.Reference)
 	eventSeq uint64
 	now      uint64
 	err      error
 
-	onHalt func(*Proc)
+	onHalt func(*Proc) //lint:owner shared
 
 	// Telemetry (see telemetry.go): all nil/disarmed by default.  The
 	// event loop pays one uint64 compare per event against sampleAt
@@ -120,6 +120,7 @@ func (c *Chip) scheduleEv(at uint64, e event) {
 	c.ref.push(e)
 }
 
+//lint:hot cold fault path, runs at most once per simulation
 func (c *Chip) fail(format string, args ...any) {
 	if c.err == nil {
 		c.err = fmt.Errorf("sim: "+format, args...)
@@ -127,6 +128,8 @@ func (c *Chip) fail(format string, args ...any) {
 }
 
 // l1dAt returns core's private D-cache, creating it on first use.
+//
+//lint:hot cold lazy one-time construction of a core's L1 and telemetry names
 func (c *Chip) l1dAt(core int) *mem.Cache {
 	cache := c.l1d[core]
 	if cache == nil {
@@ -141,6 +144,8 @@ func (c *Chip) l1dAt(core int) *mem.Cache {
 }
 
 // issueAt returns core's issue ring, creating it on first use.
+//
+//lint:hot cold lazy one-time construction of a core's issue ring
 func (c *Chip) issueAt(core int) *issueRing {
 	r := c.issue[core]
 	if r == nil {
@@ -318,6 +323,8 @@ func (c *Chip) run(maxCycles uint64) error {
 // reference are dropped when the block's generation moved on — the block
 // committed or was flushed (and possibly recycled) after the event was
 // scheduled.
+//
+//lint:hot root
 func (c *Chip) dispatch(e *event, now uint64) {
 	if e.b != nil && e.b.gen != e.gen {
 		return
@@ -373,6 +380,7 @@ func (c *Chip) dispatch(e *event, now uint64) {
 	}
 }
 
+//lint:hot cold error-message helper on the fault path
 func (c *Chip) runningProcs() string {
 	s := ""
 	for _, p := range c.Procs {

@@ -49,9 +49,9 @@ type domain struct {
 	id   int
 	chip *Chip
 
-	cal calQueue
-	seq uint64
-	now uint64
+	cal calQueue //lint:owner domain
+	seq uint64   //lint:owner domain
+	now uint64   //lint:owner domain
 
 	procs []*Proc
 	mems  []*exec.PageMem // identity set for memory-sharing grouping
@@ -63,11 +63,11 @@ type domain struct {
 	// when domains share one goroutine and at the shadow structs below
 	// during parallel runs (drained at each boundary).
 	opn, ctl           *noc.Port
-	opnStats, ctlStats noc.Stats
+	opnStats, ctlStats noc.Stats //lint:owner domain
 
 	// inbox holds deferred cross-domain L1 invalidations in global
 	// defer-sequence order (appends happen in arbiter order).
-	inbox []inval
+	inbox []inval //lint:owner domain
 
 	err   error
 	errAt uint64
@@ -83,7 +83,7 @@ type domain struct {
 	// nil check inside flight.Ring.Add.  Single-writer: the goroutine
 	// advancing the domain, or the boundary/leader goroutine while
 	// every worker is quiescent.
-	flight *flight.Ring
+	flight *flight.Ring //lint:owner domain
 
 	// Scheduler observability counters, always on in the style of
 	// Stats (plain increments, no pointers).  All are derived from the
@@ -124,6 +124,8 @@ func (d *domain) scheduleEv(at uint64, e event) {
 
 // fail records the domain's first model fault; the engine stops at the
 // next synchronization point and reports the globally first fault.
+//
+//lint:hot cold fault path, runs at most once per simulation
 func (d *domain) fail(format string, args ...any) {
 	if d.err == nil {
 		d.err = fmt.Errorf("sim: "+format, args...)
@@ -135,7 +137,9 @@ func (d *domain) fail(format string, args ...any) {
 // order.  It is the per-worker body of a parallel window and never
 // touches another domain's state; shared-resource accesses inside
 // dispatched events park on the window arbiter.
-func (d *domain) runWindow(limit uint64) {
+//
+//lint:owner worker
+func (d *domain) runWindow(limit uint64) { //lint:hot root
 	c := d.chip
 	stall := c.Opts.stallEvents()
 	d.flight.Add(flight.KWindowOpen, d.now, -1, -1, limit, 0)
@@ -326,6 +330,7 @@ func (c *Chip) placePending(startAt uint64) {
 	}
 }
 
+//lint:hot cold composition event, not per-cycle work
 func (c *Chip) placeProc(p *Proc, startAt uint64) {
 	x0, y0, x1, y1 := c.bboxOfCores(p.cores)
 	var matches []*domain
@@ -347,6 +352,8 @@ func (c *Chip) placeProc(p *Proc, startAt uint64) {
 }
 
 // adopt attaches a processor to the domain and seeds its fetch engine.
+//
+//lint:hot cold composition event, not per-cycle work
 func (d *domain) adopt(p *Proc, x0, y0, x1, y1 int, startAt uint64) {
 	p.dom = d
 	p.fr = d.flight
@@ -369,6 +376,8 @@ func (d *domain) adopt(p *Proc, x0, y0, x1, y1 int, startAt uint64) {
 // events re-file into a's sequence space in (at, seq) order, clamped to
 // the merged now — the deterministic definition of a bridge merge, the
 // same in every mode.
+//
+//lint:hot cold composition event, not per-cycle work
 func (c *Chip) mergeDomains(a, b *domain) {
 	if b.now > a.now {
 		a.now = b.now
@@ -530,6 +539,7 @@ func (c *Chip) windowLimitFor(m, maxCycles uint64) uint64 {
 	return limit
 }
 
+//lint:hot cold run-termination error construction
 func (c *Chip) exceededErr(maxCycles uint64) error {
 	return fmt.Errorf("sim: exceeded %d cycles (running: %s)", maxCycles, c.runningProcs())
 }
@@ -553,6 +563,8 @@ func (c *Chip) takeBoundarySamples(m uint64) {
 // pre-partitioning engine and to Options.Reference.  Returns when the
 // queue drains, a fault lands, or a composition event requires
 // re-forming domains.
+//
+//lint:hot root
 func (c *Chip) runSingle(d *domain, maxCycles uint64) {
 	c.curDom = d
 	stall := c.Opts.stallEvents()
@@ -597,6 +609,8 @@ func (c *Chip) runSingle(d *domain, maxCycles uint64) {
 // (at, domainID, seq) order, window by window.  This is ParallelDomains
 // <= 1: the same partitioned engine minus the worker pool, and the
 // ordering contract the parallel arbiter reproduces.
+//
+//lint:hot root
 func (c *Chip) runMerged(maxCycles uint64) {
 	for {
 		c.collectErrors()

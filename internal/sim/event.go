@@ -207,6 +207,8 @@ func (q *calQueue) nextAt() (at uint64, ok bool) {
 // events whose cycles no longer fit the rewound window are re-filed, so
 // no two cycles ever share a bucket.  Rare and cold: it can only happen
 // once per composition event.
+//
+//lint:hot cold at most once per composition event
 func (q *calQueue) rewind(to uint64) {
 	var resident []event
 	for i := range q.buckets {

@@ -37,6 +37,7 @@ func (p *Proc) violGet(b *IFB, idx int) bool {
 	return p.violBits[w]&(1<<(bit%64)) != 0
 }
 
+//lint:hot cold dependence-violation bookkeeping, off the common path
 func (p *Proc) violSet(b *IFB, idx int) {
 	bi := b.meta.blkIdx
 	if bi < 0 {

@@ -86,6 +86,8 @@ func (c *Chip) runParallel(maxCycles uint64) {
 
 // bindWorker points a domain's ports at its shadow statistics and
 // starts its worker.  Monitor held.
+//
+//lint:hot cold worker spawn at window-regroup time, not per-cycle work
 func (pr *parRun) bindWorker(d *domain) {
 	c := pr.c
 	d.opn = c.Opn.NewPort(&d.opnStats)
@@ -128,7 +130,10 @@ func (pr *parRun) worker(d *domain) {
 // enter parks the calling domain until the arbiter grants it exclusive
 // shared-resource access.  Called (through Proc.enterShared) from deep
 // inside event dispatch, so the park key (d.now, d.id) is the executing
-// event's key.
+// event's key.  The handoff below IS the serialization mechanism the
+// ownership rules assume, so domainguard does not descend into it.
+//
+//lint:owner quiescent
 func (pr *parRun) enter(d *domain) {
 	pr.mu.Lock()
 	pr.running--
@@ -148,6 +153,8 @@ func (pr *parRun) enter(d *domain) {
 
 // exit releases the arbiter after a shared section; the domain resumes
 // its window.
+//
+//lint:owner quiescent
 func (pr *parRun) exit(d *domain) {
 	d.flight.Add(flight.KSharedExit, d.now, -1, -1, d.sharedGrants, 0)
 	pr.mu.Lock()

@@ -17,7 +17,7 @@ import (
 // Proc is one composed logical processor executing one thread.
 type Proc struct {
 	chip *Chip
-	dom  *domain // owning event domain; nil under Options.Reference
+	dom  *domain //lint:owner domain-link (owning event domain; nil under Options.Reference)
 	// fr is the owning domain's flight-recorder ring; nil unless
 	// Chip.EnableFlight armed the recorder (and always nil under
 	// Reference, which has no domains).  Add is nil-receiver safe, so
@@ -216,6 +216,8 @@ func (p *Proc) scheduleEv(at uint64, e event) {
 }
 
 // fail records a model fault against the processor's domain.
+//
+//lint:hot cold fault path, runs at most once per simulation
 func (p *Proc) fail(format string, args ...any) {
 	if p.dom != nil {
 		p.dom.fail(format, args...)
@@ -777,6 +779,7 @@ func (p *Proc) finalizeCommit(b *IFB, t uint64) {
 	if b.actual.Op == isa.OpHalt {
 		p.halted = true
 		p.Stats.Cycles = t
+		//lint:allow domainguard audited: the hook pointer is installed before Run and immutable while workers execute; the probe is a read of frozen state and the call below is bracketed
 		if p.chip.onHalt != nil {
 			// The hook composes processors onto the chip — shared state.
 			p.enterShared()
